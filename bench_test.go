@@ -1,0 +1,90 @@
+package bluegene
+
+// One benchmark per table and figure in the paper's evaluation. Each
+// regenerates the artifact (quick configuration) and reports the headline
+// number as a custom metric, so `go test -bench=. -benchmem` reproduces
+// the whole evaluation section.
+
+import (
+	"testing"
+
+	"bgcnk/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string, metrics func(*testing.B, *experiments.Result)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Registry[id](experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Pass {
+			b.Fatalf("experiment %s failed:\n%s", id, r.Render())
+		}
+		if i == 0 {
+			if metrics != nil {
+				metrics(b, r)
+			}
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkFig5to7FWQ regenerates the FWQ noise comparison (Figs 5-7):
+// Linux cores 0/2/3 >5% variation, CNK <0.006%.
+func BenchmarkFig5to7FWQ(b *testing.B) {
+	benchExperiment(b, "fig5-7", nil)
+}
+
+// BenchmarkTable1Latency regenerates Table I (DCMF/MPI/ARMCI latencies in
+// SMP mode).
+func BenchmarkTable1Latency(b *testing.B) {
+	benchExperiment(b, "table1", nil)
+}
+
+// BenchmarkFig8Throughput regenerates Fig 8 (rendezvous near-neighbour
+// throughput saturating the 425 MB/s link under CNK).
+func BenchmarkFig8Throughput(b *testing.B) {
+	benchExperiment(b, "fig8", nil)
+}
+
+// BenchmarkLinpackStability regenerates the repeated-LINPACK stability
+// result (<=0.01% spread under CNK).
+func BenchmarkLinpackStability(b *testing.B) {
+	benchExperiment(b, "linpack", nil)
+}
+
+// BenchmarkAllreduceStability regenerates the mpiBench_Allreduce
+// comparison (CNK sigma ~0 vs FWK microsecond-scale).
+func BenchmarkAllreduceStability(b *testing.B) {
+	benchExperiment(b, "allreduce", nil)
+}
+
+// BenchmarkTable2Capabilities regenerates Table II with live probes.
+func BenchmarkTable2Capabilities(b *testing.B) {
+	benchExperiment(b, "table2", nil)
+}
+
+// BenchmarkTable3Capabilities regenerates Table III.
+func BenchmarkTable3Capabilities(b *testing.B) {
+	benchExperiment(b, "table3", nil)
+}
+
+// BenchmarkBootUnderVHDL regenerates the Section III boot-time comparison
+// (CNK hours vs Linux weeks under a 10 Hz VHDL simulator).
+func BenchmarkBootUnderVHDL(b *testing.B) {
+	benchExperiment(b, "boot", nil)
+}
+
+// BenchmarkReproducibility regenerates the Section III methodology:
+// identical scans across reruns and waveform fault localization.
+func BenchmarkReproducibility(b *testing.B) {
+	benchExperiment(b, "repro", nil)
+}
+
+// BenchmarkAblations regenerates the design-choice ablation suite (L3
+// bank-mapping sweep, noise-source decomposition, protocol crossover,
+// I/O-path comparison).
+func BenchmarkAblations(b *testing.B) {
+	benchExperiment(b, "ablations", nil)
+}

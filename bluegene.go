@@ -1,0 +1,111 @@
+// Package bluegene is the public face of the CNK reproduction: a
+// deterministic simulation of a Blue Gene/P-class machine on which the
+// paper's lightweight Compute Node Kernel and a Linux-like full-weight
+// kernel run the same applications, so every comparison in "Experiences
+// with a Lightweight Supercomputer Kernel" (SC 2010) can be re-run.
+//
+// Quick start:
+//
+//	m, err := bluegene.NewMachine(bluegene.MachineConfig{Nodes: 2, Kernel: bluegene.CNK})
+//	...
+//	err = m.Run(func(ctx bluegene.Context, env *bluegene.Env) {
+//	    ctx.Compute(1_000_000) // burn a millisecond of 850MHz cycles
+//	}, bluegene.JobParams{}, 0)
+//
+// Experiments (the paper's tables and figures) are run via Experiment /
+// AllExperiments; see EXPERIMENTS.md for the recorded results.
+package bluegene
+
+import (
+	"fmt"
+
+	"bgcnk/internal/experiments"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/machine"
+	"bgcnk/internal/sim"
+)
+
+// KernelKind selects the compute-node kernel.
+type KernelKind = machine.KernelKind
+
+// Kernel kinds.
+const (
+	CNK = machine.KindCNK
+	FWK = machine.KindFWK
+)
+
+// Context is a thread's view of its kernel (compute, syscalls, memory).
+type Context = kernel.Context
+
+// Env is a rank's machine-level environment (its MPI communicator, DCMF
+// device and node identity).
+type Env = machine.Env
+
+// JobParams are the job launch parameters (processes per node, shared
+// memory size, guard size).
+type JobParams = kernel.JobParams
+
+// Cycles counts 850 MHz processor cycles.
+type Cycles = sim.Cycles
+
+// MachineConfig describes the machine to simulate.
+type MachineConfig struct {
+	Nodes  int
+	Kernel KernelKind
+	// Seed drives the FWK's daemon phases (CNK ignores it: CNK runs are
+	// reproducible under any seed).
+	Seed uint64
+	// Reproducible boots CNK in cycle-reproducible (bringup) mode.
+	Reproducible bool
+	// MaxThreadsPerCore is CNK's fixed thread budget (default 1; BG/P
+	// later allowed 3).
+	MaxThreadsPerCore int
+	// MemBytes is per-node DDR (default 256MB).
+	MemBytes uint64
+}
+
+// Machine is a simulated Blue Gene/P system.
+type Machine struct {
+	*machine.Machine
+}
+
+// NewMachine builds and boots a machine.
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	m, err := machine.New(machine.Config{
+		Nodes:             cfg.Nodes,
+		Kind:              cfg.Kernel,
+		Seed:              cfg.Seed,
+		Reproducible:      cfg.Reproducible,
+		MaxThreadsPerCore: cfg.MaxThreadsPerCore,
+		MemSize:           cfg.MemBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Machine: m}, nil
+}
+
+// App is a per-rank application entry point.
+type App = machine.App
+
+// ExperimentResult is one regenerated paper artifact.
+type ExperimentResult = experiments.Result
+
+// ExperimentIDs lists the paper artifacts, in paper order.
+func ExperimentIDs() []string { return append([]string(nil), experiments.Order...) }
+
+// Experiment regenerates one paper artifact ("fig5-7", "table1", "fig8",
+// "linpack", "allreduce", "table2", "table3", "boot", "repro"). quick
+// shrinks sample counts for fast runs.
+func Experiment(id string, quick bool) (*ExperimentResult, error) {
+	r, ok := experiments.Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bluegene: unknown experiment %q (have %v)", id, experiments.Order)
+	}
+	return r(experiments.Options{Quick: quick})
+}
+
+// AllExperiments regenerates every table and figure.
+func AllExperiments(quick bool) ([]*ExperimentResult, error) {
+	return experiments.RunAll(experiments.Options{Quick: quick})
+}

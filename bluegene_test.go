@@ -1,0 +1,53 @@
+package bluegene
+
+import (
+	"testing"
+)
+
+func TestFacadeMachineRuns(t *testing.T) {
+	m, err := NewMachine(MachineConfig{Nodes: 2, Kernel: CNK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	sum := 0.0
+	err = m.Run(func(ctx Context, env *Env) {
+		v, _ := env.MPI.Allreduce(ctx, 1)
+		if env.Rank == 0 {
+			sum = v
+		}
+	}, JobParams{}, 0)
+	if err != nil || sum != 2 {
+		t.Fatalf("err=%v sum=%v", err, sum)
+	}
+}
+
+func TestFacadeFWK(t *testing.T) {
+	m, err := NewMachine(MachineConfig{Nodes: 1, Kernel: FWK, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	ran := false
+	err = m.Run(func(ctx Context, env *Env) {
+		ctx.Compute(1_000_000)
+		ran = true
+	}, JobParams{}, 0)
+	if err != nil || !ran {
+		t.Fatalf("err=%v ran=%v", err, ran)
+	}
+}
+
+func TestExperimentRegistryAccessible(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 10 {
+		t.Fatalf("experiments: %v", ids)
+	}
+	if _, err := Experiment("no-such", true); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	r, err := Experiment("boot", true)
+	if err != nil || !r.Pass {
+		t.Fatalf("boot experiment: %v pass=%v", err, r != nil && r.Pass)
+	}
+}

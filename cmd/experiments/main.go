@@ -1,0 +1,49 @@
+// Command experiments regenerates every table and figure in the paper's
+// evaluation section and prints the report that EXPERIMENTS.md records.
+//
+//	go run ./cmd/experiments            # full-size runs
+//	go run ./cmd/experiments -quick     # scaled-down (seconds)
+//	go run ./cmd/experiments -run fig8  # one artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bgcnk"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down sample counts")
+	run := flag.String("run", "", "run a single experiment id")
+	flag.Parse()
+
+	var results []*bluegene.ExperimentResult
+	if *run != "" {
+		r, err := bluegene.Experiment(*run, *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results = append(results, r)
+	} else {
+		rs, err := bluegene.AllExperiments(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results = rs
+	}
+	failed := 0
+	for _, r := range results {
+		fmt.Println(r.Render())
+		if !r.Pass {
+			failed++
+		}
+	}
+	fmt.Printf("%d/%d artifacts reproduce the paper's shape\n", len(results)-failed, len(results))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Ioffload demonstrates the function-shipped I/O architecture of paper
+// Section IV-A: eight compute nodes in VN mode (32 processes) all perform
+// POSIX file I/O, yet the filesystem sees exactly ONE client — the I/O
+// node — with one ioproxy per process mirroring its state (seek offsets,
+// cwd, credentials).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bgcnk"
+	"bgcnk/internal/fs"
+	"bgcnk/internal/kernel"
+)
+
+func main() {
+	const nodes = 8
+	m, err := bluegene.NewMachine(bluegene.MachineConfig{Nodes: nodes, Kernel: bluegene.CNK})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Shutdown()
+
+	params := bluegene.JobParams{ProcsPerNode: 4} // VN mode
+	err = m.Run(func(ctx bluegene.Context, env *bluegene.Env) {
+		base := m.HeapBase(ctx)
+		// Each process chdirs into its own directory (proxy-side state),
+		// then writes a per-process file with relative paths.
+		dir := fmt.Sprintf("/gpfs/node%02d-pid%03d", env.Node, ctx.PID())
+		pathVA := base
+		ctx.Store(pathVA, append([]byte(dir), 0))
+		if _, errno := ctx.Syscall(kernel.SysMkdir, uint64(pathVA), 0755); errno != kernel.OK {
+			log.Fatalf("mkdir: %v", errno)
+		}
+		if _, errno := ctx.Syscall(kernel.SysChdir, uint64(pathVA)); errno != kernel.OK {
+			log.Fatalf("chdir: %v", errno)
+		}
+		relVA := base + 2048
+		ctx.Store(relVA, append([]byte("trace.out"), 0))
+		fd, errno := ctx.Syscall(kernel.SysOpen, uint64(relVA), kernel.OCreat|kernel.ORdwr, 0644)
+		if errno != kernel.OK {
+			log.Fatalf("open: %v", errno)
+		}
+		// Chunked writes exercise the proxy's seek-offset mirroring.
+		bufVA := base + 4096
+		for chunk := 0; chunk < 4; chunk++ {
+			line := fmt.Sprintf("node %d pid %d chunk %d\n", env.Node, ctx.PID(), chunk)
+			ctx.Store(bufVA, []byte(line))
+			if n, errno := ctx.Syscall(kernel.SysWrite, fd, uint64(bufVA), uint64(len(line))); errno != kernel.OK || n != uint64(len(line)) {
+				log.Fatalf("write: %v %d", errno, n)
+			}
+		}
+		ctx.Syscall(kernel.SysClose, fd)
+	}, params, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := m.Servers[0]
+	fmt.Printf("%d compute processes performed POSIX I/O\n", nodes*4)
+	fmt.Printf("filesystem clients the storage system saw: 1 (the I/O node)\n")
+	fmt.Printf("CIOD: %d ioproxies created, %d live after job exit, %d calls served\n",
+		srv.Proxies, srv.LiveProxies(), srv.Calls)
+
+	names, _ := m.IONFS[0].Readdir("/", "/gpfs", fs.Root)
+	fmt.Printf("directories on the I/O node filesystem: %d\n", len(names))
+	data, errno := m.IONFS[0].ReadFile("/"+"gpfs/node00-pid001/trace.out", fs.Root)
+	if errno == kernel.OK {
+		fmt.Printf("sample file contents:\n%s", data)
+	}
+	fmt.Println("paper: function shipping gives \"up to two orders of magnitude reduction in filesystem clients\"")
+}

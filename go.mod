@@ -1,0 +1,3 @@
+module bgcnk
+
+go 1.24

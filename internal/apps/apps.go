@@ -1,0 +1,227 @@
+// Package apps implements the workloads the paper evaluates with: the FWQ
+// noise microbenchmark (DAXPY quanta), an HPL/LINPACK-style fixed-work
+// solver, the Phloem mpiBench_Allreduce shape, a STREAM-like memory
+// sweep, and a Gordon-Bell-style compute loop with L1-parity recovery.
+// Every workload runs against kernel.Context only, so the identical code
+// executes on CNK and the FWK.
+package apps
+
+import (
+	"bgcnk/internal/dcmf"
+	"bgcnk/internal/hw"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/sim"
+)
+
+// FWQConfig parameterizes the Fixed Work Quanta benchmark. The defaults
+// reproduce the paper's configuration: "12,000 timed samples of a DAXPY
+// ... on a 256 element vector that fits in L1 cache. The DAXPY operation
+// was repeated 256 times to provide work that consumes approximately
+// 0.0008 seconds (658K cycles) for each sample."
+type FWQConfig struct {
+	Samples int
+	Reps    int
+	// RepCycles is the modelled arithmetic cost of one 256-element DAXPY
+	// pass; calibrated so a noise-free warm sample is exactly 658,958
+	// cycles (the paper's observed minimum): 256*2574 + 14.
+	RepCycles      sim.Cycles
+	SampleOverhead sim.Cycles
+}
+
+// DefaultFWQ is the paper's configuration.
+func DefaultFWQ() FWQConfig {
+	return FWQConfig{Samples: 12000, Reps: 256, RepCycles: 2574, SampleOverhead: 14}
+}
+
+// FWQExpectedMin is the noise-free per-sample cycle count under
+// DefaultFWQ (the paper's 658,958).
+const FWQExpectedMin = sim.Cycles(256*2574 + 14)
+
+// FWQ runs the benchmark on the calling thread. base is a per-thread
+// scratch area: x at base, y at base+2KB, and the results array above —
+// which, exactly as in the real benchmark, does not fit in L1 alongside
+// the working set and produces the tiny conflict-miss fuzz CNK shows in
+// the paper's Fig 7.
+func FWQ(ctx kernel.Context, base hw.VAddr, cfg FWQConfig) []sim.Cycles {
+	if cfg.Samples == 0 {
+		cfg = DefaultFWQ()
+	}
+	x := base
+	y := base + 2048
+	results := base + 8192
+	// Warm the vectors (the benchmark's setup loop). Loads allocate in
+	// the write-through L1; the stores of the y update write through
+	// without allocating, so reads are what matter architecturally.
+	ctx.Touch(x, 2048, false)
+	ctx.Touch(y, 2048, false)
+	// Drain any interrupt work left over from process setup (e.g. the
+	// guard-reposition IPIs malloc's brk growth posted) so it is not
+	// charged to the first timed sample.
+	ctx.Compute(1000)
+
+	out := make([]sim.Cycles, 0, cfg.Samples)
+	for s := 0; s < cfg.Samples; s++ {
+		start := ctx.Now()
+		// One architectural touch of each vector per sample stands in for
+		// the 256 repetitions: after the first pass the vectors are
+		// L1-resident, so the remaining passes have no memory-hierarchy
+		// effect — they are pure arithmetic, charged below. Only a line
+		// evicted by the results-array store (or by a daemon) makes the
+		// touch cost anything, which is exactly the per-sample miss the
+		// unrolled loop would observe.
+		ctx.Touch(x, 2048, false)
+		ctx.Touch(y, 2048, false)
+		ctx.Compute(sim.Cycles(cfg.Reps)*cfg.RepCycles + cfg.SampleOverhead)
+		d := ctx.Now() - start
+		out = append(out, d)
+		// Store the sample to the results array: this is what evicts an
+		// occasional working-set line and produces the CNK noise floor.
+		ctx.StoreU64(results+hw.VAddr(s*8), uint64(d))
+	}
+	return out
+}
+
+// LinpackConfig parameterizes the HPL-style fixed-work solver.
+type LinpackConfig struct {
+	Panels      int        // outer iterations
+	PanelCycles sim.Cycles // compute per panel
+	ExchangeB   int        // bytes exchanged with the neighbour per panel
+}
+
+// DefaultLinpack is a scaled-down run (the paper's real runs took 4.5
+// hours per rack; the shape, not the duration, is what matters).
+func DefaultLinpack() LinpackConfig {
+	return LinpackConfig{Panels: 60, PanelCycles: 2_000_000, ExchangeB: 32 << 10}
+}
+
+// Linpack runs the fixed-work solve on every rank: per panel, local
+// factorization compute, a pivot allreduce, and a neighbour panel
+// exchange. Returns the wall cycles the rank spent.
+func Linpack(ctx kernel.Context, mpi *dcmf.Comm, base hw.VAddr, cfg LinpackConfig) (sim.Cycles, kernel.Errno) {
+	if cfg.Panels == 0 {
+		cfg = DefaultLinpack()
+	}
+	rank, size := mpi.Rank(), mpi.Size
+	start := ctx.Now()
+	buf := base
+	ctx.Touch(buf, uint32(cfg.ExchangeB), true)
+	for p := 0; p < cfg.Panels; p++ {
+		ctx.Compute(cfg.PanelCycles)
+		if _, errno := mpi.Allreduce(ctx, float64(rank+p)); errno != kernel.OK {
+			return 0, errno
+		}
+		if size > 1 {
+			next := (rank + 1) % size
+			tag := uint32(1000 + p)
+			// Ring exchange with parity-ordered send/recv: rendezvous
+			// sends block until the receiver posts, so a ring where
+			// everyone sends first would deadlock.
+			if rank%2 == 0 {
+				if errno := mpi.Dev.SendRendezvous(ctx, next, tag, buf, uint64(cfg.ExchangeB)); errno != kernel.OK {
+					return 0, errno
+				}
+				if _, _, errno := mpi.Dev.RecvRendezvous(ctx, tag, buf, uint64(cfg.ExchangeB)); errno != kernel.OK {
+					return 0, errno
+				}
+			} else {
+				if _, _, errno := mpi.Dev.RecvRendezvous(ctx, tag, buf, uint64(cfg.ExchangeB)); errno != kernel.OK {
+					return 0, errno
+				}
+				if errno := mpi.Dev.SendRendezvous(ctx, next, tag, buf, uint64(cfg.ExchangeB)); errno != kernel.OK {
+					return 0, errno
+				}
+			}
+		}
+	}
+	return ctx.Now() - start, kernel.OK
+}
+
+// AllreduceBench is the Phloem mpiBench_Allreduce shape: time per
+// double-sum allreduce over many iterations. Returns per-iteration wall
+// cycles.
+func AllreduceBench(ctx kernel.Context, mpi *dcmf.Comm, iterations int) ([]sim.Cycles, kernel.Errno) {
+	out := make([]sim.Cycles, 0, iterations)
+	for i := 0; i < iterations; i++ {
+		start := ctx.Now()
+		if _, errno := mpi.Allreduce(ctx, float64(i)); errno != kernel.OK {
+			return nil, errno
+		}
+		out = append(out, ctx.Now()-start)
+	}
+	return out, kernel.OK
+}
+
+// Stream sweeps a buffer of the given size with writes, returning achieved
+// bytes per cycle — a memory-hierarchy probe used by the ablation benches.
+func Stream(ctx kernel.Context, base hw.VAddr, size uint32, passes int) float64 {
+	start := ctx.Now()
+	for p := 0; p < passes; p++ {
+		ctx.Touch(base, size, true)
+		ctx.Compute(sim.Cycles(size / 8)) // one op per dword
+	}
+	elapsed := ctx.Now() - start
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(uint64(size)*uint64(passes)) / float64(elapsed)
+}
+
+// ParityRecovery models the Gordon Bell run's resilience scheme (paper
+// V-B): the application keeps a redundant copy of its state; when the
+// kernel delivers the L1 parity signal, the handler restores from the
+// copy instead of a heavy checkpoint/restart. Returns (recoveries,
+// completed) — completed is false if the kernel killed the task instead.
+func ParityRecovery(ctx kernel.Context, base hw.VAddr, inject func(core int)) (int, bool) {
+	recoveries := 0
+	state := base
+	shadow := base + 64<<10
+	errno := ctx.RegisterSignal(kernel.SIGBUS, func(c kernel.Context, info kernel.SigInfo) {
+		// Restore the corrupted region from the shadow copy.
+		buf := make([]byte, 4096)
+		c.Load(shadow, buf)
+		c.Store(state, buf)
+		recoveries++
+	})
+	if errno != kernel.OK {
+		return 0, false
+	}
+	ctx.Store(state, []byte("golden state"))
+	buf := make([]byte, 4096)
+	ctx.Load(state, buf)
+	ctx.Store(shadow, buf)
+
+	for step := 0; step < 8; step++ {
+		ctx.Compute(100_000)
+		if step == 3 && inject != nil {
+			inject(ctx.CoreID())
+		}
+		// The access that observes the flipped bit.
+		ctx.Touch(state, 4096, false)
+	}
+	got := make([]byte, 12)
+	ctx.Load(state, got)
+	return recoveries, string(got) == "golden state"
+}
+
+// FTQ is the companion Fixed Time Quanta benchmark from the same LLNL
+// suite (paper reference [8] is "The FTQ/FWQ Benchmark"): instead of
+// timing fixed work, it counts how many fixed work quanta complete inside
+// each fixed time window. On a noisy kernel some windows lose quanta to
+// interrupts and daemons; on CNK every window holds the same count.
+func FTQ(ctx kernel.Context, base hw.VAddr, window sim.Cycles, quantum sim.Cycles, samples int) []int {
+	x := base
+	ctx.Touch(x, 2048, false)
+	ctx.Compute(1000) // drain setup interrupts
+	out := make([]int, 0, samples)
+	for s := 0; s < samples; s++ {
+		end := ctx.Now() + window
+		count := 0
+		for ctx.Now() < end {
+			ctx.Touch(x, 2048, false)
+			ctx.Compute(quantum)
+			count++
+		}
+		out = append(out, count)
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package apps
+
+import (
+	"testing"
+
+	"bgcnk/internal/hw"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/machine"
+	"bgcnk/internal/noise"
+	"bgcnk/internal/sim"
+)
+
+func onMachine(t *testing.T, cfg machine.Config, app machine.App) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(app, kernel.JobParams{}, sim.FromSeconds(600)); err != nil {
+		m.Shutdown()
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFWQCalibratedMinimumOnCNK(t *testing.T) {
+	var samples []sim.Cycles
+	m := onMachine(t, machine.Config{Nodes: 1, Kind: machine.KindCNK}, func(ctx kernel.Context, env *machine.Env) {
+		cfg := DefaultFWQ()
+		cfg.Samples = 300
+		samples = FWQ(ctx, env.M.HeapBase(ctx)+hw.VAddr(1<<20), cfg)
+	})
+	defer m.Shutdown()
+	st := noise.Analyze(samples)
+	if st.Min != FWQExpectedMin {
+		t.Fatalf("min = %d, want the calibrated %d", uint64(st.Min), uint64(FWQExpectedMin))
+	}
+	if st.MaxVariationPct >= 0.006 {
+		t.Fatalf("CNK FWQ variation %.4f%% >= 0.006%%", st.MaxVariationPct)
+	}
+}
+
+func TestFWQNoisyOnFWK(t *testing.T) {
+	var samples []sim.Cycles
+	m := onMachine(t, machine.Config{Nodes: 1, Kind: machine.KindFWK, Seed: 2}, func(ctx kernel.Context, env *machine.Env) {
+		cfg := DefaultFWQ()
+		cfg.Samples = 2000
+		samples = FWQ(ctx, env.M.HeapBase(ctx)+hw.VAddr(1<<20), cfg)
+	})
+	defer m.Shutdown()
+	st := noise.Analyze(samples)
+	if st.Min != FWQExpectedMin {
+		t.Fatalf("FWK min = %d; quiet samples must exist", uint64(st.Min))
+	}
+	if st.MaxVariationPct < 0.5 {
+		t.Fatalf("FWK FWQ variation %.4f%% too clean", st.MaxVariationPct)
+	}
+}
+
+func TestLinpackDeterministicOnCNK(t *testing.T) {
+	run := func() sim.Cycles {
+		var d sim.Cycles
+		m := onMachine(t, machine.Config{Nodes: 2, Kind: machine.KindCNK}, func(ctx kernel.Context, env *machine.Env) {
+			cfg := LinpackConfig{Panels: 6, PanelCycles: 100_000, ExchangeB: 8192}
+			got, errno := Linpack(ctx, env.MPI, env.M.HeapBase(ctx), cfg)
+			if errno != kernel.OK {
+				t.Errorf("linpack: %v", errno)
+			}
+			if env.Rank == 0 {
+				d = got
+			}
+		})
+		m.Shutdown()
+		return d
+	}
+	if a, b := run(), run(); a != b || a == 0 {
+		t.Fatalf("CNK linpack runs differ: %d vs %d", a, b)
+	}
+}
+
+func TestAllreduceBenchValuesAndTimes(t *testing.T) {
+	var samples []sim.Cycles
+	m := onMachine(t, machine.Config{Nodes: 4, Kind: machine.KindCNK}, func(ctx kernel.Context, env *machine.Env) {
+		out, errno := AllreduceBench(ctx, env.MPI, 50)
+		if errno != kernel.OK {
+			t.Errorf("bench: %v", errno)
+		}
+		if env.Rank == 0 {
+			samples = out
+		}
+	})
+	defer m.Shutdown()
+	if len(samples) != 50 {
+		t.Fatalf("samples: %d", len(samples))
+	}
+	st := noise.Analyze(samples[10:])
+	if st.StdDev != 0 {
+		t.Fatalf("CNK allreduce (combining tree) sigma = %v, want 0", st.StdDev)
+	}
+}
+
+func TestStreamReportsBandwidth(t *testing.T) {
+	var bpc float64
+	m := onMachine(t, machine.Config{Nodes: 1, Kind: machine.KindCNK}, func(ctx kernel.Context, env *machine.Env) {
+		bpc = Stream(ctx, env.M.HeapBase(ctx), 1<<20, 2)
+	})
+	defer m.Shutdown()
+	if bpc <= 0 || bpc > 8 {
+		t.Fatalf("stream %v bytes/cycle implausible", bpc)
+	}
+}
+
+func TestParityRecoveryOnCNK(t *testing.T) {
+	recoveries, completed := 0, false
+	m := onMachine(t, machine.Config{Nodes: 1, Kind: machine.KindCNK}, func(ctx kernel.Context, env *machine.Env) {
+		recoveries, completed = ParityRecovery(ctx, env.M.HeapBase(ctx), func(core int) {
+			env.M.Chips[0].Cache.ArmL1Parity(core)
+		})
+	})
+	defer m.Shutdown()
+	if recoveries != 1 || !completed {
+		t.Fatalf("recoveries=%d completed=%v; CNK must let the app recover (paper V-B)", recoveries, completed)
+	}
+}
+
+func TestParityKillsOnFWK(t *testing.T) {
+	survived := false
+	m, err := machine.New(machine.Config{Nodes: 1, Kind: machine.KindFWK, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	// The FWK kills the task on a machine check: ParityRecovery never
+	// returns, so the statement after it must never execute.
+	err = m.Run(func(ctx kernel.Context, env *machine.Env) {
+		ParityRecovery(ctx, env.M.HeapBase(ctx), func(core int) {
+			env.M.Chips[0].Cache.ArmL1Parity(core)
+		})
+		survived = true
+	}, kernel.JobParams{}, sim.FromSeconds(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if survived {
+		t.Fatal("FWK task survived a parity error; the machine check should kill it (no application recovery path)")
+	}
+}
+
+func TestFTQConstantOnCNK(t *testing.T) {
+	var counts []int
+	m := onMachine(t, machine.Config{Nodes: 1, Kind: machine.KindCNK}, func(ctx kernel.Context, env *machine.Env) {
+		counts = FTQ(ctx, env.M.HeapBase(ctx)+hw.VAddr(1<<20), sim.FromMicros(500), 5000, 100)
+	})
+	defer m.Shutdown()
+	for _, c := range counts[1:] {
+		if c != counts[0] {
+			t.Fatalf("CNK FTQ counts vary: %v", counts[:10])
+		}
+	}
+}
+
+func TestFTQVariesOnFWK(t *testing.T) {
+	var counts []int
+	m := onMachine(t, machine.Config{Nodes: 1, Kind: machine.KindFWK, Seed: 6}, func(ctx kernel.Context, env *machine.Env) {
+		counts = FTQ(ctx, env.M.HeapBase(ctx)+hw.VAddr(1<<20), sim.FromMillis(2), 5000, 200)
+	})
+	defer m.Shutdown()
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == max {
+		t.Fatalf("FWK FTQ counts constant at %d; ticks/daemons must steal quanta", min)
+	}
+}

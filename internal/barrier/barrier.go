@@ -1,0 +1,92 @@
+// Package barrier models the Blue Gene/P global barrier/interrupt
+// network: a dedicated AND/OR wire spanning the partition with
+// ~microsecond latency. MPI_Barrier maps onto it, and the multichip
+// reproducible-reboot protocol of paper Section III uses it to coordinate
+// reboots so that chips restart on exactly the same relative cycle.
+package barrier
+
+import (
+	"fmt"
+
+	"bgcnk/internal/sim"
+)
+
+// Network is one global barrier channel over n participants.
+type Network struct {
+	eng     *sim.Engine
+	n       int
+	latency sim.Cycles
+
+	entered map[int]*sim.Coro
+	// ArbiterState models the hardware arbiter/state-machine content that
+	// the multichip reproducible reboot must leave consistent (paper:
+	// "special code ensured a consistent state in all arbiters and state
+	// machines involved in the barrier network hardware"). Every
+	// completed barrier advances it; ResetArbiters restores the
+	// power-on value.
+	arbiterState uint64
+
+	Barriers uint64 // completed barriers
+}
+
+// DefaultLatency is the full-partition barrier latency (~1.3us).
+var DefaultLatency = sim.FromMicros(1.3)
+
+// New builds a barrier network over n participants.
+func New(eng *sim.Engine, n int, latency sim.Cycles) *Network {
+	if n <= 0 {
+		panic("barrier: need at least one participant")
+	}
+	if latency == 0 {
+		latency = DefaultLatency
+	}
+	return &Network{eng: eng, n: n, latency: latency, entered: make(map[int]*sim.Coro)}
+}
+
+// Participants returns the configured participant count.
+func (b *Network) Participants() int { return b.n }
+
+// Enter blocks participant id until all n participants have entered, then
+// releases everyone latency cycles after the last arrival. Entering twice
+// concurrently with the same id panics (a wired-AND cannot distinguish).
+func (b *Network) Enter(c *sim.Coro, id int) {
+	if id < 0 || id >= b.n {
+		panic(fmt.Sprintf("barrier: participant %d of %d", id, b.n))
+	}
+	if _, dup := b.entered[id]; dup {
+		panic(fmt.Sprintf("barrier: participant %d entered twice", id))
+	}
+	b.entered[id] = c
+	if len(b.entered) == b.n {
+		waiters := make([]*sim.Coro, 0, b.n)
+		for _, w := range b.entered {
+			waiters = append(waiters, w)
+		}
+		b.entered = make(map[int]*sim.Coro)
+		b.arbiterState++
+		b.Barriers++
+		me := c
+		b.eng.At(b.eng.Now()+b.latency, func() {
+			for _, w := range waiters {
+				if w != me {
+					w.Wake()
+				}
+			}
+		})
+		// The last arriver also waits out the wire latency.
+		c.Sleep(b.latency)
+		return
+	}
+	c.Park(sim.Forever)
+}
+
+// ArbiterState exposes the hardware state machines' content.
+func (b *Network) ArbiterState() uint64 { return b.arbiterState }
+
+// ResetArbiters restores the arbiters to their power-on state, as the
+// multichip reproducible-reboot code does while keeping the network
+// "active and configured".
+func (b *Network) ResetArbiters() { b.arbiterState = 0 }
+
+// Waiting reports how many participants are currently blocked.
+func (b *Network) Waiting() int { return len(b.entered) }

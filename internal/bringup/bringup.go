@@ -1,0 +1,202 @@
+// Package bringup implements the chip-design and bringup methodology of
+// paper Section III: cycle-reproducible runs, destructive logic scans
+// assembled into waveforms across reruns, multichip reboots coordinated
+// over the global barrier network, marginal-timing fault injection and
+// divergence-cycle localization, and the boot-time-under-a-10Hz-VHDL
+// model that made CNK usable during chip design while "Linux takes weeks
+// to boot".
+package bringup
+
+import (
+	"fmt"
+	"math"
+
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/machine"
+	"bgcnk/internal/sim"
+)
+
+// FaultSpec injects a borderline timing bug (paper Section III's war
+// story): its manifestation depends on manufacturing variability (chip
+// seed) and on local temperature/electrical noise during execution (run
+// seed), so it does not occur on every chip nor on every run.
+type FaultSpec struct {
+	Node         int
+	ChipVariance float64 // manufacturing margin, 0..1 (higher = more marginal)
+	RunSeed      uint64  // electrical/thermal conditions of this run
+	WindowStart  sim.Cycles
+	WindowLen    sim.Cycles
+}
+
+// wouldTrigger evaluates the marginal path at cycle c: variance times the
+// thermal excursion must cross the timing margin.
+// faultGranule is the evaluation granularity of the marginal path (the
+// pipeline event that exercises it recurs on this period).
+const faultGranule = sim.Cycles(16384)
+
+func (f *FaultSpec) wouldTrigger(c sim.Cycles) bool {
+	if c < f.WindowStart || c >= f.WindowStart+f.WindowLen {
+		return false
+	}
+	rng := sim.NewRNG(f.RunSeed*0x9e3779b97f4a7c15 ^ uint64(c/faultGranule))
+	temp := 0.5 + 0.2*math.Sin(float64(c)/3.0e5) + 0.12*rng.NormFloat64()
+	return f.ChipVariance*temp > 0.88
+}
+
+// TriggerCycle returns the first cycle in the window where the fault
+// fires, if any.
+func (f *FaultSpec) TriggerCycle() (sim.Cycles, bool) {
+	for c := f.WindowStart; c < f.WindowStart+f.WindowLen; c += faultGranule {
+		if f.wouldTrigger(c) {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Probe is a reproducible experiment: a machine configuration plus a
+// deterministic workload, optionally with an injected marginal fault.
+type Probe struct {
+	Nodes    int
+	Workload machine.App
+	Fault    *FaultSpec
+}
+
+// Snapshot is what one destructive scan captures.
+type Snapshot struct {
+	Cycle  sim.Cycles
+	Hashes []uint64 // per-chip state hash
+	Trace  uint64   // engine trace hash
+}
+
+// RunTo builds a fresh reproducible machine, runs the workload until the
+// stop cycle, and takes the destructive scans. The machine cannot be used
+// afterwards — exactly the constraint that forces the
+// run/scan/reset/re-run methodology.
+func (p Probe) RunTo(stop sim.Cycles) (Snapshot, error) {
+	m, err := machine.New(machine.Config{
+		Nodes: p.Nodes, Kind: machine.KindCNK, Reproducible: true,
+	})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	defer m.Shutdown()
+	if p.Fault != nil {
+		p.installFault(m)
+	}
+	if err := m.Launch(p.Workload, kernel.JobParams{}); err != nil {
+		return Snapshot{}, err
+	}
+	m.Eng.Run(stop)
+	snap := Snapshot{Cycle: stop, Trace: m.Eng.Trace().Hash()}
+	for _, chip := range m.Chips {
+		snap.Hashes = append(snap.Hashes, chip.Scan())
+	}
+	return snap, nil
+}
+
+// installFault schedules the marginal-path evaluation: when it fires, it
+// corrupts one byte of the victim chip's Boot SRAM (a state bit the scans
+// can see), modelling the flipped latch.
+func (p Probe) installFault(m *machine.Machine) {
+	f := p.Fault
+	chip := m.Chips[f.Node]
+	for c := f.WindowStart; c < f.WindowStart+f.WindowLen; c += faultGranule {
+		c := c
+		if f.wouldTrigger(c) {
+			m.Eng.At(c, func() {
+				chip.BootSRAM[17] ^= 0x40
+				m.Eng.Trace().Record(c, "fault", "marginal path flipped a latch")
+			})
+			return // first trigger only
+		}
+	}
+}
+
+// VerifyReproducible runs the probe to the stop cycle `times` times and
+// reports whether every snapshot is identical — the Section III property
+// that makes logic scans composable into waveforms.
+func (p Probe) VerifyReproducible(stop sim.Cycles, times int) (bool, []Snapshot, error) {
+	var snaps []Snapshot
+	for i := 0; i < times; i++ {
+		s, err := p.RunTo(stop)
+		if err != nil {
+			return false, nil, err
+		}
+		snaps = append(snaps, s)
+	}
+	for _, s := range snaps[1:] {
+		if s.Trace != snaps[0].Trace {
+			return false, snaps, nil
+		}
+		for i := range s.Hashes {
+			if s.Hashes[i] != snaps[0].Hashes[i] {
+				return false, snaps, nil
+			}
+		}
+	}
+	return true, snaps, nil
+}
+
+// Waveform is the logic-analyzer view assembled from successive scans,
+// "each scan taken one cycle later than on the previous run".
+type Waveform struct {
+	Step  sim.Cycles
+	Snaps []Snapshot
+}
+
+// CaptureWaveform runs the probe once per sample point — a fresh,
+// reproducible machine each time, since every scan destroys the chip
+// state — and assembles the per-cycle view.
+func (p Probe) CaptureWaveform(from, to, step sim.Cycles) (*Waveform, error) {
+	w := &Waveform{Step: step}
+	for c := from; c <= to; c += step {
+		s, err := p.RunTo(c)
+		if err != nil {
+			return nil, err
+		}
+		w.Snaps = append(w.Snaps, s)
+	}
+	return w, nil
+}
+
+// FindDivergence compares a reference waveform against a suspect one and
+// returns the first sampled cycle at which any chip's state differs —
+// how the paper's timing bug was localized.
+func FindDivergence(ref, sus *Waveform) (sim.Cycles, int, bool) {
+	n := len(ref.Snaps)
+	if len(sus.Snaps) < n {
+		n = len(sus.Snaps)
+	}
+	for i := 0; i < n; i++ {
+		for chipIdx := range ref.Snaps[i].Hashes {
+			if chipIdx < len(sus.Snaps[i].Hashes) &&
+				ref.Snaps[i].Hashes[chipIdx] != sus.Snaps[i].Hashes[chipIdx] {
+				return ref.Snaps[i].Cycle, chipIdx, true
+			}
+		}
+	}
+	return 0, -1, false
+}
+
+// VHDLHz is the cycle-accurate simulator's speed during chip design.
+const VHDLHz = 10.0
+
+// VHDLBootTime converts a kernel's boot instruction count to wall time
+// under the VHDL simulator.
+func VHDLBootTime(bootInstr uint64) (hours float64) {
+	return float64(bootInstr) / VHDLHz / 3600.0
+}
+
+// DescribeVHDLBoot renders the comparison line.
+func DescribeVHDLBoot(name string, bootInstr uint64) string {
+	h := VHDLBootTime(bootInstr)
+	switch {
+	case h < 24:
+		return fmt.Sprintf("%s: %d instructions -> %.1f hours under a 10 Hz VHDL simulator", name, bootInstr, h)
+	case h < 24*14:
+		return fmt.Sprintf("%s: %d instructions -> %.1f days under a 10 Hz VHDL simulator", name, bootInstr, h/24)
+	default:
+		return fmt.Sprintf("%s: %d instructions -> %.1f weeks under a 10 Hz VHDL simulator", name, bootInstr, h/24/7)
+	}
+}

@@ -1,0 +1,105 @@
+package caps
+
+import (
+	"strings"
+	"testing"
+
+	"bgcnk/internal/machine"
+)
+
+func TestObserveCNK(t *testing.T) {
+	o, err := observe(machine.KindCNK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.tlbMisses != 0 {
+		t.Errorf("CNK TLB misses = %d", o.tlbMisses)
+	}
+	if o.physRanges != 1 {
+		t.Errorf("CNK phys ranges = %d, want 1 (contiguous)", o.physRanges)
+	}
+	if !o.textWritable {
+		t.Error("CNK must not enforce mapping permissions")
+	}
+	if o.computeSpread != 0 {
+		t.Errorf("CNK fixed-work spread = %d, want 0", o.computeSpread)
+	}
+	if o.overcommitOK {
+		t.Error("CNK must reject overcommitted threads")
+	}
+	if !o.traceRepro || !o.seedsIdentical {
+		t.Error("CNK must be reproducible under any conditions")
+	}
+}
+
+func TestObserveFWK(t *testing.T) {
+	o, err := observe(machine.KindFWK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.tlbMisses == 0 {
+		t.Error("FWK must take TLB misses")
+	}
+	if o.physRanges <= 1 {
+		t.Errorf("FWK phys ranges = %d, want scattered", o.physRanges)
+	}
+	if !o.roWriteFault {
+		t.Error("FWK must fault on a read-only write")
+	}
+	if o.textWritable {
+		t.Error("FWK must enforce permissions")
+	}
+	if !o.overcommitOK {
+		t.Error("FWK must allow thread overcommit")
+	}
+	if o.seedsIdentical {
+		t.Error("FWK must differ across ambient seeds")
+	}
+}
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	rows, err := TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("Table II has %d rows, the paper has 11", len(rows))
+	}
+	want := map[string][2]Grade{
+		"No TLB misses":                {Easy, NotAvail},
+		"Full memory protection":       {NotAvail, Easy},
+		"Cycle reproducible execution": {Easy, NotAvail},
+		"Performance reproducible":     {Easy, MediumHard},
+		"Full mmap support":            {NotAvail, Easy},
+	}
+	for _, r := range rows {
+		if w, ok := want[r.Capability]; ok {
+			if r.CNK != w[0] || r.Linux != w[1] {
+				t.Errorf("%s: got %s/%s want %s/%s", r.Capability, r.CNK, r.Linux, w[0], w[1])
+			}
+		}
+	}
+}
+
+func TestTableIIIStructure(t *testing.T) {
+	rows := TableIII()
+	if len(rows) != 6 {
+		t.Fatalf("Table III has %d rows, the paper has 6", len(rows))
+	}
+	// Every row must have exactly one "avail" side (it lists capabilities
+	// missing from one system).
+	for _, r := range rows {
+		availCNK := r.CNK == Avail
+		availLnx := r.Linux == Avail
+		if availCNK == availLnx {
+			t.Errorf("%s: exactly one side should be avail (%s/%s)", r.Capability, r.CNK, r.Linux)
+		}
+	}
+}
+
+func TestRenderContainsRows(t *testing.T) {
+	s := Render("TABLE II", []Row{{Capability: "No TLB misses", CNK: Easy, Linux: NotAvail}})
+	if !strings.Contains(s, "No TLB misses") || !strings.Contains(s, "not avail") {
+		t.Fatalf("render: %s", s)
+	}
+}

@@ -1,0 +1,82 @@
+package ciod
+
+import (
+	"bgcnk/internal/collective"
+	"bgcnk/internal/fs"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/sim"
+)
+
+// costMarshal is the CN-side cost of marshalling a request and posting it
+// to the collective-network send FIFO. Kept small: "the amount of code
+// required in CNK to implement the offload is minimal" (Section IV-A).
+const costMarshal = sim.Cycles(300)
+
+// Client ships requests from a compute node to CIOD over the collective
+// network and blocks the calling coroutine for the round trip. CNK does
+// not yield the core during a shipped call (paper Section VI-C), so the
+// wait is a simple park of the calling thread, not a reschedule.
+type Client struct {
+	ep      *collective.Endpoint
+	nextTag uint32
+	Calls   uint64
+}
+
+// NewClient wraps a compute node's tree endpoint.
+func NewClient(ep *collective.Endpoint) *Client {
+	return &Client{ep: ep}
+}
+
+// Call implements Transport.
+func (cl *Client) Call(c *sim.Coro, req *Request) *Reply {
+	cl.nextTag++
+	tag := cl.nextTag
+	c.Sleep(costMarshal)
+	cl.ep.Send(-1, tag, MarshalRequest(req))
+	msg := cl.ep.RecvTag(c, tag)
+	rep, err := UnmarshalReply(msg.Data)
+	if err != nil {
+		return &Reply{Errno: kernel.EIO}
+	}
+	cl.Calls++
+	return rep
+}
+
+// Loopback is a Transport that executes against a local filesystem with a
+// fixed modelled delay, for unit-testing the CN kernel without standing up
+// an I/O node. Semantics match the Server exactly (same execute path).
+type Loopback struct {
+	srv   *Server
+	Delay sim.Cycles
+}
+
+// NewLoopback builds a loopback transport over f.
+func NewLoopback(eng *sim.Engine, f *fs.FS) *Loopback {
+	// A server without a dispatcher: we reuse only its execute logic.
+	s := &Server{eng: eng, fs: f, prox: make(map[proxyKey]*ioproxy)}
+	return &Loopback{srv: s, Delay: costMarshal + costDispatch + costExecute}
+}
+
+// Call implements Transport.
+func (l *Loopback) Call(c *sim.Coro, req *Request) *Reply {
+	c.Sleep(l.Delay)
+	key := proxyKey{node: 0, pid: req.PID}
+	switch req.Op {
+	case OpProcStart:
+		l.srv.prox[key] = &ioproxy{
+			pid:     req.PID,
+			client:  fs.NewClient(l.srv.fs, fs.Cred{UID: req.UID, GID: req.GID}),
+			threads: make(map[uint32]*proxyThread),
+		}
+		return &Reply{}
+	case OpProcExit:
+		delete(l.srv.prox, key)
+		return &Reply{}
+	}
+	p, ok := l.srv.prox[key]
+	if !ok {
+		return &Reply{Errno: kernel.ESRCH}
+	}
+	l.srv.Calls++
+	return l.srv.execute(p, req)
+}

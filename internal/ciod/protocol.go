@@ -1,0 +1,207 @@
+// Package ciod implements the CNK ⇔ CIOD function-shipped I/O protocol of
+// paper Section IV-A (Fig 2). When an application on a compute node makes
+// a file-I/O system call, CNK marshals the parameters into a message and
+// ships it over the collective network to the Control and I/O Daemon on
+// the I/O node. CIOD routes the message to an ioproxy dedicated to that
+// compute-node process (with one proxy thread per application thread),
+// which performs the real call against the I/O node's filesystem and ships
+// the results back.
+package ciod
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bgcnk/internal/fs"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/sim"
+)
+
+// Op codes on the wire (aligned with the syscalls CNK function-ships, plus
+// proxy lifecycle management).
+const (
+	OpOpen uint8 = iota
+	OpClose
+	OpRead
+	OpWrite
+	OpLseek
+	OpStat
+	OpFstat
+	OpUnlink
+	OpRename
+	OpMkdir
+	OpRmdir
+	OpDup
+	OpGetcwd
+	OpChdir
+	OpTruncate
+	OpReaddir
+	OpProcStart // create the ioproxy for a process
+	OpProcExit  // tear it down
+)
+
+var opNames = [...]string{"open", "close", "read", "write", "lseek", "stat",
+	"fstat", "unlink", "rename", "mkdir", "rmdir", "dup", "getcwd", "chdir",
+	"truncate", "readdir", "proc_start", "proc_exit"}
+
+// OpName returns a debug name for an op code.
+func OpName(op uint8) string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", op)
+}
+
+// Request is one function-shipped call.
+type Request struct {
+	Op     uint8
+	PID    uint32
+	TID    uint32
+	UID    uint32
+	GID    uint32
+	FD     int32
+	FD2    int32 // unused except where noted
+	Flags  uint64
+	Mode   uint16
+	Off    int64
+	Whence int32
+	Size   uint64
+	Path   string
+	Path2  string
+	Data   []byte
+}
+
+// Reply is the result shipped back.
+type Reply struct {
+	Ret   uint64
+	Errno kernel.Errno
+	Data  []byte
+	Str   string
+}
+
+// Transport is what the compute-node kernel uses to ship a request and
+// block for its reply. Implementations: Client (over the collective
+// network to a Server) and Loopback (directly against a filesystem, for
+// unit tests of the CN kernel).
+type Transport interface {
+	Call(c *sim.Coro, req *Request) *Reply
+}
+
+// --- wire marshalling (encoding/binary, big-endian like the hardware) ---
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.BigEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) i32(v int32)  { e.u32(uint32(v)) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) str(s string) { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+func (e *enc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) need(n int) []byte {
+	if d.err != nil || len(d.b) < n {
+		d.err = fmt.Errorf("ciod: truncated message")
+		return make([]byte, n)
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+func (d *dec) u8() uint8   { return d.need(1)[0] }
+func (d *dec) u16() uint16 { return binary.BigEndian.Uint16(d.need(2)) }
+func (d *dec) u32() uint32 { return binary.BigEndian.Uint32(d.need(4)) }
+func (d *dec) u64() uint64 { return binary.BigEndian.Uint64(d.need(8)) }
+func (d *dec) i32() int32  { return int32(d.u32()) }
+func (d *dec) i64() int64  { return int64(d.u64()) }
+func (d *dec) str() string { return string(d.need(int(d.u32()))) }
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	return append([]byte(nil), d.need(n)...)
+}
+
+// MarshalRequest renders the request in wire format.
+func MarshalRequest(r *Request) []byte {
+	e := &enc{}
+	e.u8(r.Op)
+	e.u32(r.PID)
+	e.u32(r.TID)
+	e.u32(r.UID)
+	e.u32(r.GID)
+	e.i32(r.FD)
+	e.i32(r.FD2)
+	e.u64(r.Flags)
+	e.u16(r.Mode)
+	e.i64(r.Off)
+	e.i32(r.Whence)
+	e.u64(r.Size)
+	e.str(r.Path)
+	e.str(r.Path2)
+	e.bytes(r.Data)
+	return e.b
+}
+
+// UnmarshalRequest parses wire format.
+func UnmarshalRequest(b []byte) (*Request, error) {
+	d := &dec{b: b}
+	r := &Request{
+		Op: d.u8(), PID: d.u32(), TID: d.u32(), UID: d.u32(), GID: d.u32(),
+		FD: d.i32(), FD2: d.i32(), Flags: d.u64(), Mode: d.u16(),
+		Off: d.i64(), Whence: d.i32(), Size: d.u64(),
+		Path: d.str(), Path2: d.str(), Data: d.bytes(),
+	}
+	return r, d.err
+}
+
+// MarshalReply renders a reply in wire format.
+func MarshalReply(r *Reply) []byte {
+	e := &enc{}
+	e.u64(r.Ret)
+	e.i32(int32(r.Errno))
+	e.str(r.Str)
+	e.bytes(r.Data)
+	return e.b
+}
+
+// UnmarshalReply parses a reply.
+func UnmarshalReply(b []byte) (*Reply, error) {
+	d := &dec{b: b}
+	r := &Reply{Ret: d.u64(), Errno: kernel.Errno(d.i32()), Str: d.str(), Data: d.bytes()}
+	return r, d.err
+}
+
+// StatWireSize is the byte length of a marshalled Stat.
+const StatWireSize = 8 + 1 + 2 + 4 + 4 + 8 + 4 + 8
+
+// MarshalStat encodes a Stat into reply data.
+func MarshalStat(st fs.Stat) []byte {
+	e := &enc{}
+	e.u64(st.Ino)
+	e.u8(uint8(st.Type))
+	e.u16(uint16(st.Mode))
+	e.u32(st.UID)
+	e.u32(st.GID)
+	e.u64(st.Size)
+	e.u32(st.Nlink)
+	e.u64(st.Mtime)
+	return e.b
+}
+
+// UnmarshalStat decodes MarshalStat's output.
+func UnmarshalStat(b []byte) (fs.Stat, error) {
+	d := &dec{b: b}
+	st := fs.Stat{
+		Ino: d.u64(), Type: fs.FileType(d.u8()), Mode: fs.Mode(d.u16()),
+		UID: d.u32(), GID: d.u32(), Size: d.u64(), Nlink: d.u32(), Mtime: d.u64(),
+	}
+	return st, d.err
+}

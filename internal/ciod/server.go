@@ -1,0 +1,224 @@
+package ciod
+
+import (
+	"fmt"
+
+	"bgcnk/internal/collective"
+	"bgcnk/internal/fs"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/sim"
+)
+
+// Costs on the I/O-node side (Linux syscall execution plus the CIOD shared
+// buffer handoff of paper Fig 2).
+const (
+	costDispatch = sim.Cycles(600)  // CIOD retrieve + route via shared buffer
+	costExecute  = sim.Cycles(2500) // Linux syscall on the I/O node
+)
+
+// Server is the Control and I/O Daemon running on an I/O node: it
+// retrieves messages from the collective network and directs them to
+// ioproxy threads; each ioproxy is associated with a specific compute-node
+// process and mirrors its filesystem state.
+// proxyKey identifies an ioproxy: compute-node endpoint plus process ID
+// (PIDs are only unique per node).
+type proxyKey struct {
+	node int
+	pid  uint32
+}
+
+type Server struct {
+	eng  *sim.Engine
+	ep   *collective.Endpoint
+	fs   *fs.FS
+	prox map[proxyKey]*ioproxy
+
+	Calls    uint64 // function-shipped calls served
+	Proxies  int    // ioproxies ever created
+	MaxProxy int    // high-water mark of live proxies
+}
+
+type ioproxy struct {
+	pid     uint32
+	client  *fs.Client
+	threads map[uint32]*proxyThread
+}
+
+type proxyThread struct {
+	queue []pendingCall
+	coro  *sim.Coro
+}
+
+type pendingCall struct {
+	req  *Request
+	from int
+	tag  uint32
+}
+
+// NewServer starts CIOD on the given tree endpoint, serving filesystem f.
+// The dispatcher coroutine starts immediately.
+func NewServer(eng *sim.Engine, ep *collective.Endpoint, f *fs.FS) *Server {
+	s := &Server{eng: eng, ep: ep, fs: f, prox: make(map[proxyKey]*ioproxy)}
+	eng.Go("ciod", s.dispatcher)
+	return s
+}
+
+// dispatcher is CIOD's main loop: receive, route to the proxy thread.
+func (s *Server) dispatcher(c *sim.Coro) {
+	for {
+		msg := s.ep.Recv(c)
+		c.Sleep(costDispatch)
+		req, err := UnmarshalRequest(msg.Data)
+		if err != nil {
+			s.ep.Send(msg.From, msg.Tag, MarshalReply(&Reply{Errno: kernel.EINVAL}))
+			continue
+		}
+		s.route(req, msg.From, msg.Tag)
+	}
+}
+
+func (s *Server) route(req *Request, from int, tag uint32) {
+	key := proxyKey{node: from, pid: req.PID}
+	switch req.Op {
+	case OpProcStart:
+		p := &ioproxy{
+			pid:     req.PID,
+			client:  fs.NewClient(s.fs, fs.Cred{UID: req.UID, GID: req.GID}),
+			threads: make(map[uint32]*proxyThread),
+		}
+		s.prox[key] = p
+		s.Proxies++
+		if live := len(s.prox); live > s.MaxProxy {
+			s.MaxProxy = live
+		}
+		s.ep.Send(from, tag, MarshalReply(&Reply{}))
+		return
+	case OpProcExit:
+		delete(s.prox, key)
+		s.ep.Send(from, tag, MarshalReply(&Reply{}))
+		return
+	}
+	p, ok := s.prox[key]
+	if !ok {
+		s.ep.Send(from, tag, MarshalReply(&Reply{Errno: kernel.ESRCH}))
+		return
+	}
+	// One proxy thread per application thread (paper Section IV-A): the
+	// thread is created lazily on its first shipped call.
+	t, ok := p.threads[req.TID]
+	if !ok {
+		t = &proxyThread{}
+		p.threads[req.TID] = t
+		pid, tid := req.PID, req.TID
+		t.coro = s.eng.Go(fmt.Sprintf("ioproxy.%d.%d", pid, tid), func(c *sim.Coro) {
+			s.proxyLoop(c, p, t)
+		})
+	}
+	t.queue = append(t.queue, pendingCall{req: req, from: from, tag: tag})
+	t.coro.Wake()
+}
+
+func (s *Server) proxyLoop(c *sim.Coro, p *ioproxy, t *proxyThread) {
+	for {
+		for len(t.queue) == 0 {
+			c.Park(sim.Forever)
+		}
+		call := t.queue[0]
+		t.queue = t.queue[1:]
+		c.Sleep(costExecute)
+		rep := s.execute(p, call.req)
+		s.Calls++
+		s.ep.Send(call.from, call.tag, MarshalReply(rep))
+	}
+}
+
+// execute performs the request against the proxy's filesystem client —
+// "the ioproxy decodes the message, demarshals the arguments, and performs
+// the system call that was requested by the compute node process".
+func (s *Server) execute(p *ioproxy, r *Request) *Reply {
+	cl := p.client
+	switch r.Op {
+	case OpOpen:
+		fd, errno := cl.Open(r.Path, r.Flags, fs.Mode(r.Mode))
+		return &Reply{Ret: uint64(int64(fd)), Errno: errno}
+	case OpClose:
+		return &Reply{Errno: cl.Close(int(r.FD))}
+	case OpRead:
+		buf := make([]byte, r.Size)
+		n, errno := cl.Read(int(r.FD), buf)
+		return &Reply{Ret: uint64(n), Errno: errno, Data: buf[:n]}
+	case OpWrite:
+		n, errno := cl.Write(int(r.FD), r.Data)
+		return &Reply{Ret: uint64(n), Errno: errno}
+	case OpLseek:
+		pos, errno := cl.Lseek(int(r.FD), r.Off, int(r.Whence))
+		return &Reply{Ret: pos, Errno: errno}
+	case OpStat:
+		st, errno := cl.Stat(r.Path)
+		if errno != kernel.OK {
+			return &Reply{Errno: errno}
+		}
+		return &Reply{Ret: st.Size, Data: MarshalStat(st)}
+	case OpFstat:
+		st, errno := cl.Fstat(int(r.FD))
+		if errno != kernel.OK {
+			return &Reply{Errno: errno}
+		}
+		return &Reply{Ret: st.Size, Data: MarshalStat(st)}
+	case OpUnlink:
+		return &Reply{Errno: cl.Unlink(r.Path)}
+	case OpRename:
+		return &Reply{Errno: cl.Rename(r.Path, r.Path2)}
+	case OpMkdir:
+		return &Reply{Errno: cl.Mkdir(r.Path, fs.Mode(r.Mode))}
+	case OpRmdir:
+		return &Reply{Errno: cl.Rmdir(r.Path)}
+	case OpDup:
+		fd, errno := cl.Dup(int(r.FD))
+		return &Reply{Ret: uint64(int64(fd)), Errno: errno}
+	case OpGetcwd:
+		return &Reply{Str: cl.Cwd()}
+	case OpChdir:
+		return &Reply{Errno: cl.Chdir(r.Path)}
+	case OpTruncate:
+		return &Reply{Errno: cl.Truncate(r.Path, r.Size)}
+	case OpReaddir:
+		names, errno := cl.Readdir(r.Path)
+		if errno != kernel.OK {
+			return &Reply{Errno: errno}
+		}
+		e := &enc{}
+		e.u32(uint32(len(names)))
+		for _, n := range names {
+			e.str(n)
+		}
+		return &Reply{Data: e.b}
+	}
+	return &Reply{Errno: kernel.ENOSYS}
+}
+
+// DecodeNames parses an OpReaddir reply payload.
+func DecodeNames(b []byte) ([]string, error) {
+	d := &dec{b: b}
+	n := int(d.u32())
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		names = append(names, d.str())
+	}
+	return names, d.err
+}
+
+// LiveProxies reports the number of ioproxies currently alive.
+func (s *Server) LiveProxies() int { return len(s.prox) }
+
+// ProxyThreads reports the proxy-thread count for a PID, summed over
+// nodes (PIDs are per-node; tests typically have one node).
+func (s *Server) ProxyThreads(pid uint32) int {
+	n := 0
+	for k, p := range s.prox {
+		if k.pid == pid {
+			n += len(p.threads)
+		}
+	}
+	return n
+}

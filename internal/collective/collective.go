@@ -1,0 +1,252 @@
+// Package collective models the Blue Gene/P collective (tree) network that
+// connects compute nodes to their I/O node. CNK function-ships filesystem
+// system calls over this network to CIOD (paper Fig 2). The model carries
+// real bytes in 256-byte packets over per-endpoint serialized links, so
+// protocol cost, aggregation, and bandwidth contention are observable.
+package collective
+
+import (
+	"fmt"
+
+	"bgcnk/internal/sim"
+)
+
+// PacketBytes is the collective network packet payload size.
+const PacketBytes = 256
+
+// Config sets the link cost model. Defaults approximate BG/P's tree:
+// ~0.85 GB/s per link and a few microseconds of tree latency.
+type Config struct {
+	Latency       sim.Cycles // one-way tree traversal latency
+	CyclesPerByte float64    // serialization cost
+	PerPacket     sim.Cycles // per-packet header/processing cost
+}
+
+// DefaultConfig returns the BG/P-like cost model.
+func DefaultConfig() Config {
+	return Config{
+		Latency:       sim.FromMicros(1.3),
+		CyclesPerByte: 1.0, // 850 MB/s at 850 MHz
+		PerPacket:     40,
+	}
+}
+
+// Message is one function-ship message (request or reply).
+type Message struct {
+	From int    // sender endpoint ID
+	Tag  uint32 // request/reply matching tag
+	Data []byte
+}
+
+// Tree is one collective-network class route: a set of compute-node
+// endpoints all connected to one I/O-node endpoint.
+type Tree struct {
+	eng *sim.Engine
+	cfg Config
+	ion *Endpoint
+	cns map[int]*Endpoint
+}
+
+// Endpoint is one node's tree interface: an inbox plus a serialized
+// outgoing link.
+type Endpoint struct {
+	tree      *Tree
+	id        int
+	ion       bool
+	inbox     []Message
+	waiters   []waiter
+	busyUntil sim.Cycles // outgoing link serialization
+
+	Sent, Received uint64
+	BytesSent      uint64
+}
+
+type waiter struct {
+	coro   *sim.Coro
+	tag    uint32
+	anyTag bool
+}
+
+// NewTree builds a tree with one ION endpoint (id -1) and the given
+// compute-node endpoint IDs.
+func NewTree(eng *sim.Engine, cfg Config, cnIDs []int) *Tree {
+	t := &Tree{eng: eng, cfg: cfg, cns: make(map[int]*Endpoint)}
+	t.ion = &Endpoint{tree: t, id: -1, ion: true}
+	for _, id := range cnIDs {
+		t.cns[id] = &Endpoint{tree: t, id: id}
+	}
+	return t
+}
+
+// ION returns the I/O-node endpoint.
+func (t *Tree) ION() *Endpoint { return t.ion }
+
+// CN returns the compute-node endpoint with the given ID.
+func (t *Tree) CN(id int) *Endpoint {
+	ep, ok := t.cns[id]
+	if !ok {
+		panic(fmt.Sprintf("collective: no CN endpoint %d", id))
+	}
+	return ep
+}
+
+// ID returns the endpoint's node ID (-1 for the ION).
+func (e *Endpoint) ID() int { return e.id }
+
+// sendCost computes serialization cycles for n bytes.
+func (e *Endpoint) sendCost(n int) sim.Cycles {
+	packets := (n + PacketBytes - 1) / PacketBytes
+	if packets == 0 {
+		packets = 1
+	}
+	ser := sim.Cycles(float64(n)*e.tree.cfg.CyclesPerByte) + sim.Cycles(packets)*e.tree.cfg.PerPacket
+	return ser
+}
+
+// Send transmits msg to the tree peer (CN→ION or ION→CN addressed by
+// msg destination to). The sender's coroutine is NOT blocked: the cost is
+// paid on the link (DMA-like). Use SendFrom for an explicit source tag.
+func (e *Endpoint) Send(to int, tag uint32, data []byte) {
+	var dst *Endpoint
+	if e.ion {
+		dst = e.tree.CN(to)
+	} else {
+		dst = e.tree.ion
+	}
+	ser := e.sendCost(len(data))
+	start := e.tree.eng.Now()
+	if e.busyUntil > start {
+		start = e.busyUntil
+	}
+	e.busyUntil = start + ser
+	arrive := e.busyUntil + e.tree.cfg.Latency
+	msg := Message{From: e.id, Tag: tag, Data: append([]byte(nil), data...)}
+	e.Sent++
+	e.BytesSent += uint64(len(data))
+	e.tree.eng.At(arrive, func() { dst.deliver(msg) })
+}
+
+func (e *Endpoint) deliver(m Message) {
+	e.inbox = append(e.inbox, m)
+	e.Received++
+	// Wake every waiter that could match; they re-check on resume.
+	for _, w := range e.waiters {
+		if w.anyTag || w.tag == m.Tag {
+			w.coro.Wake()
+		}
+	}
+}
+
+// take removes and returns the first inbox message matching (tag, anyTag).
+func (e *Endpoint) take(tag uint32, anyTag bool) (Message, bool) {
+	for i, m := range e.inbox {
+		if anyTag || m.Tag == tag {
+			e.inbox = append(e.inbox[:i], e.inbox[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// Recv blocks the calling coroutine until any message arrives and returns
+// it.
+func (e *Endpoint) Recv(c *sim.Coro) Message {
+	for {
+		if m, ok := e.take(0, true); ok {
+			return m
+		}
+		e.waiters = append(e.waiters, waiter{coro: c, anyTag: true})
+		c.Park(sim.Forever)
+		e.removeWaiter(c)
+	}
+}
+
+// RecvTag blocks until a message with the given tag arrives. Multiple
+// coroutines may wait on the same endpoint with different tags (one I/O
+// proxy thread per application thread — paper Section IV-A).
+func (e *Endpoint) RecvTag(c *sim.Coro, tag uint32) Message {
+	for {
+		if m, ok := e.take(tag, false); ok {
+			return m
+		}
+		e.waiters = append(e.waiters, waiter{coro: c, tag: tag})
+		c.Park(sim.Forever)
+		e.removeWaiter(c)
+	}
+}
+
+func (e *Endpoint) removeWaiter(c *sim.Coro) {
+	for i, w := range e.waiters {
+		if w.coro == c {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Pending reports queued inbox messages (for tests).
+func (e *Endpoint) Pending() int { return len(e.inbox) }
+
+// Combine is the collective network's arithmetic-combine (ALU) class
+// route: all n participants contribute a double, the tree sums on the way
+// up and broadcasts on the way down with a fixed hardware latency. This is
+// what MPI_Allreduce maps onto on Blue Gene, and why its per-iteration
+// time is constant to the cycle under CNK (paper V-D).
+type Combine struct {
+	eng     *sim.Engine
+	n       int
+	latency sim.Cycles
+
+	entered map[int]*sim.Coro
+	sum     float64
+	results map[int]float64
+
+	Ops uint64
+}
+
+// NewCombine builds an n-participant combining route. latency 0 selects a
+// BG/P-like ~2.5us tree traversal.
+func NewCombine(eng *sim.Engine, n int, latency sim.Cycles) *Combine {
+	if latency == 0 {
+		latency = sim.FromMicros(2.5)
+	}
+	return &Combine{eng: eng, n: n, latency: latency,
+		entered: make(map[int]*sim.Coro), results: make(map[int]float64)}
+}
+
+// Allreduce contributes v for participant id and blocks until the global
+// sum returns down the tree.
+func (cb *Combine) Allreduce(c *sim.Coro, id int, v float64) float64 {
+	if _, dup := cb.entered[id]; dup {
+		panic(fmt.Sprintf("collective: participant %d re-entered combine", id))
+	}
+	cb.entered[id] = c
+	cb.sum += v
+	if len(cb.entered) == cb.n {
+		sum := cb.sum
+		waiters := cb.entered
+		cb.entered = make(map[int]*sim.Coro)
+		cb.sum = 0
+		cb.Ops++
+		for wid := range waiters {
+			cb.results[wid] = sum
+		}
+		me := c
+		cb.eng.At(cb.eng.Now()+cb.latency, func() {
+			for wid, w := range waiters {
+				if w != me {
+					_ = wid
+					w.Wake()
+				}
+			}
+		})
+		c.Sleep(cb.latency)
+		r := cb.results[id]
+		delete(cb.results, id)
+		return r
+	}
+	c.Park(sim.Forever)
+	r := cb.results[id]
+	delete(cb.results, id)
+	return r
+}

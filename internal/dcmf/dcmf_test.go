@@ -1,0 +1,110 @@
+package dcmf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bgcnk/internal/hw"
+	"bgcnk/internal/torus"
+)
+
+func TestSubRangesCarving(t *testing.T) {
+	ranges := []torus.PhysRange{{PA: 0, Len: 100}, {PA: 1000, Len: 100}, {PA: 2000, Len: 100}}
+	out := subRanges(ranges, 50, 200)
+	if len(out) != 3 {
+		t.Fatalf("got %d pieces: %+v", len(out), out)
+	}
+	if out[0].PA != 50 || out[0].Len != 50 {
+		t.Fatalf("first piece %+v", out[0])
+	}
+	if out[1].PA != 1000 || out[1].Len != 100 {
+		t.Fatalf("second piece %+v", out[1])
+	}
+	if out[2].PA != 2000 || out[2].Len != 50 {
+		t.Fatalf("third piece %+v", out[2])
+	}
+}
+
+func TestSubRangesWhole(t *testing.T) {
+	ranges := []torus.PhysRange{{PA: 0x1000, Len: 4096}}
+	out := subRanges(ranges, 0, 4096)
+	if len(out) != 1 || out[0] != ranges[0] {
+		t.Fatalf("whole carve: %+v", out)
+	}
+}
+
+func TestSubRangesOverrunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overrun")
+		}
+	}()
+	subRanges([]torus.PhysRange{{PA: 0, Len: 10}}, 5, 10)
+}
+
+func TestSubRangesPropertyPreservesBytes(t *testing.T) {
+	f := func(lens []uint8, offSel, sizeSel uint16) bool {
+		var ranges []torus.PhysRange
+		var total uint64
+		pa := uint64(0)
+		for _, l := range lens {
+			n := uint64(l%64) + 1
+			ranges = append(ranges, torus.PhysRange{PA: hw.PAddr(pa), Len: n})
+			pa += n + 128 // non-adjacent
+			total += n
+		}
+		if total == 0 {
+			return true
+		}
+		off := uint64(offSel) % total
+		size := uint64(sizeSel) % (total - off)
+		if size == 0 {
+			size = 1
+			if off+size > total {
+				off--
+			}
+		}
+		out := subRanges(ranges, off, size)
+		var got uint64
+		for _, r := range out {
+			got += r.Len
+		}
+		return got == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCTSEncodingRoundTrip(t *testing.T) {
+	ranges := []torus.PhysRange{{PA: 0x12345678, Len: 4096}, {PA: 0xABCDEF00, Len: 8192}}
+	b := encodeCTS(42, 1, 3, ranges)
+	if len(b) > torus.PacketBytes {
+		t.Fatalf("CTS packet overflows: %d bytes", len(b))
+	}
+	msgid, idx, npkts, got := decodeCTS(b)
+	if msgid != 42 || idx != 1 || npkts != 3 || len(got) != 2 {
+		t.Fatalf("decoded %d %d %d %d", msgid, idx, npkts, len(got))
+	}
+	if got[0] != ranges[0] || got[1] != ranges[1] {
+		t.Fatalf("ranges: %+v", got)
+	}
+}
+
+func TestCTSMaxRangesFitsPacket(t *testing.T) {
+	ranges := make([]torus.PhysRange, ctsMaxRanges)
+	b := encodeCTS(1, 0, 1, ranges)
+	if len(b) > torus.PacketBytes {
+		t.Fatalf("max CTS %d bytes exceeds packet %d", len(b), torus.PacketBytes)
+	}
+	if ctsMaxRanges < 10 {
+		t.Fatalf("ctsMaxRanges = %d suspiciously small", ctsMaxRanges)
+	}
+}
+
+func TestRTSEncoding(t *testing.T) {
+	b := encodeRTS(7, 1<<32+5, 3)
+	if len(b) != 16 {
+		t.Fatalf("RTS length %d", len(b))
+	}
+}

@@ -1,0 +1,91 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation: the FWQ noise plots (Figs 5–7), the messaging latency table
+// (Table I), the rendezvous bandwidth curve (Fig 8), the LINPACK and
+// allreduce stability results (Section V-D), the capability tables
+// (Tables II–III), the VHDL boot-time comparison and the
+// cycle-reproducibility demonstrations (Section III). Each runner returns
+// a Result whose Pass field asserts the paper's qualitative shape.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bgcnk/internal/sim"
+)
+
+// Result is one regenerated artifact.
+type Result struct {
+	ID    string
+	Title string
+	Lines []string
+	Pass  bool
+	Notes []string
+}
+
+func (r *Result) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the result for a report.
+func (r *Result) Render() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "== %s: %s [%s]\n", r.ID, r.Title, status)
+	for _, l := range r.Lines {
+		fmt.Fprintf(&b, "   %s\n", l)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options scales experiment sizes: Quick shrinks sample counts so the
+// whole suite runs in seconds (used by tests); the full sizes match the
+// paper's configurations.
+type Options struct {
+	Quick bool
+}
+
+// Runner produces one artifact.
+type Runner func(Options) (*Result, error)
+
+// Registry maps experiment IDs (paper artifact names) to runners.
+var Registry = map[string]Runner{
+	"fig5-7":    RunFWQ,
+	"table1":    RunTable1,
+	"fig8":      RunFig8,
+	"linpack":   RunLinpack,
+	"allreduce": RunAllreduce,
+	"table2":    RunTable2,
+	"table3":    RunTable3,
+	"boot":      RunBoot,
+	"repro":     RunRepro,
+	"ablations": RunAblations,
+}
+
+// Order lists the artifacts in paper order.
+var Order = []string{"fig5-7", "table1", "fig8", "linpack", "allreduce", "table2", "table3", "boot", "repro", "ablations"}
+
+// RunAll executes every experiment in paper order.
+func RunAll(opt Options) ([]*Result, error) {
+	var out []*Result
+	for _, id := range Order {
+		r, err := Registry[id](opt)
+		if err != nil {
+			return out, fmt.Errorf("%s: %v", id, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func us(c sim.Cycles) float64 { return c.Micros() }

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true}
+
+func check(t *testing.T, r *Result, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Fatalf("experiment %s failed shape assertions:\n%s", r.ID, r.Render())
+	}
+	if len(r.Lines) == 0 {
+		t.Fatalf("experiment %s produced no output", r.ID)
+	}
+	t.Log("\n" + r.Render())
+}
+
+func TestRunFWQ(t *testing.T)       { r, err := RunFWQ(quick); check(t, r, err) }
+func TestRunTable1(t *testing.T)    { r, err := RunTable1(quick); check(t, r, err) }
+func TestRunFig8(t *testing.T)      { r, err := RunFig8(quick); check(t, r, err) }
+func TestRunLinpack(t *testing.T)   { r, err := RunLinpack(quick); check(t, r, err) }
+func TestRunAllreduce(t *testing.T) { r, err := RunAllreduce(quick); check(t, r, err) }
+func TestRunTable2(t *testing.T)    { r, err := RunTable2(quick); check(t, r, err) }
+func TestRunTable3(t *testing.T)    { r, err := RunTable3(quick); check(t, r, err) }
+func TestRunBoot(t *testing.T)      { r, err := RunBoot(quick); check(t, r, err) }
+func TestRunRepro(t *testing.T)     { r, err := RunRepro(quick); check(t, r, err) }
+
+func TestRunAblations(t *testing.T) { r, err := RunAblations(quick); check(t, r, err) }
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Order) != len(Registry) {
+		t.Fatalf("Order has %d entries, Registry %d", len(Order), len(Registry))
+	}
+	for _, id := range Order {
+		if Registry[id] == nil {
+			t.Fatalf("missing runner %q", id)
+		}
+	}
+}
+
+func TestRenderForms(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", Pass: true}
+	r.addf("line %d", 1)
+	r.notef("note %d", 2)
+	s := r.Render()
+	if !strings.Contains(s, "PASS") || !strings.Contains(s, "line 1") || !strings.Contains(s, "note: note 2") {
+		t.Fatalf("render: %q", s)
+	}
+	r.Pass = false
+	if !strings.Contains(r.Render(), "FAIL") {
+		t.Fatal("FAIL marker missing")
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/machine"
+	"bgcnk/internal/sim"
+)
+
+// LinkMBs is the torus per-link bandwidth ceiling (425 MB/s at 2
+// cycles/byte, 850 MHz).
+const LinkMBs = 425.0
+
+// fig8Point is one (message size, bandwidth) sample.
+type fig8Point struct {
+	Bytes uint64
+	MBs   float64
+}
+
+// fig8Sweep measures near-neighbour rendezvous throughput for one kernel.
+func fig8Sweep(kind machine.KernelKind, sizes []uint64, reps int) ([]fig8Point, error) {
+	m, err := machine.New(machine.Config{Nodes: 2, Kind: kind, Seed: 3, MemSize: 512 << 20})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Shutdown()
+	var points []fig8Point
+	err = m.Run(func(ctx kernel.Context, env *machine.Env) {
+		base := m.HeapBase(ctx)
+		mpi := env.MPI
+		for _, size := range sizes {
+			mpi.Barrier(ctx)
+			if env.Rank == 0 {
+				for i := 0; i < reps; i++ {
+					env.Dev.SendRendezvous(ctx, 1, uint32(4000+size%97), base, size)
+				}
+			} else {
+				start := ctx.Now()
+				for i := 0; i < reps; i++ {
+					env.Dev.RecvRendezvous(ctx, uint32(4000+size%97), base, size)
+				}
+				elapsed := ctx.Now() - start
+				mbs := float64(size) * float64(reps) / elapsed.Seconds() / 1e6
+				points = append(points, fig8Point{Bytes: size, MBs: mbs})
+			}
+		}
+		mpi.Barrier(ctx)
+	}, kernel.JobParams{}, sim.FromSeconds(600))
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// RunFig8 regenerates Fig 8: throughput of the rendezvous protocol for a
+// near-neighbour exchange as message size grows. Under CNK the single
+// contiguous DMA descriptor lets the protocol saturate the 425 MB/s link;
+// the FWK pays pinning, scattered per-page descriptors and multi-packet
+// CTS exchanges, so it reaches a lower fraction of the link at every
+// size.
+func RunFig8(opt Options) (*Result, error) {
+	sizes := []uint64{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	reps := 4
+	if opt.Quick {
+		sizes = sizes[:5]
+		reps = 2
+	}
+	cnk, err := fig8Sweep(machine.KindCNK, sizes, reps)
+	if err != nil {
+		return nil, err
+	}
+	fwk, err := fig8Sweep(machine.KindFWK, sizes, reps)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "fig8", Title: "Fig 8: rendezvous throughput, near-neighbour exchange", Pass: true}
+	r.addf("%10s %14s %14s %12s", "size", "CNK MB/s", "FWK MB/s", "CNK/link")
+	for i := range cnk {
+		frac := cnk[i].MBs / LinkMBs
+		fw := 0.0
+		if i < len(fwk) {
+			fw = fwk[i].MBs
+		}
+		r.addf("%10d %14.1f %14.1f %11.1f%%", cnk[i].Bytes, cnk[i].MBs, fw, frac*100)
+		if i < len(fwk) && fwk[i].MBs > cnk[i].MBs {
+			r.Pass = false
+			r.notef("FWK outperformed CNK at %d bytes", cnk[i].Bytes)
+		}
+	}
+	// Shape: monotone non-decreasing for CNK and saturation at the top.
+	last := cnk[len(cnk)-1]
+	if last.MBs < 0.85*LinkMBs {
+		r.Pass = false
+		r.notef("CNK peak %.1f MB/s below 85%% of the %0.f MB/s link", last.MBs, LinkMBs)
+	}
+	for i := 1; i < len(cnk); i++ {
+		if cnk[i].MBs < cnk[i-1].MBs*0.95 {
+			r.Pass = false
+			r.notef("CNK curve not rising at %d bytes", cnk[i].Bytes)
+		}
+	}
+	return r, nil
+}

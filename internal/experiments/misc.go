@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"bgcnk/internal/bringup"
+	"bgcnk/internal/caps"
+	"bgcnk/internal/cnk"
+	"bgcnk/internal/fwk"
+	"bgcnk/internal/hw"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/machine"
+	"bgcnk/internal/sim"
+)
+
+// RunTable2 regenerates Table II via the capability probes.
+func RunTable2(opt Options) (*Result, error) {
+	rows, err := caps.TableII()
+	r := &Result{ID: "table2", Title: "Table II: ease of using capabilities (CNK vs Linux)", Pass: err == nil}
+	for _, row := range rows {
+		r.addf("%-36s | CNK: %-16s | Linux: %-13s", row.Capability, row.CNK, row.Linux)
+		if row.Evidence != "" {
+			r.addf("    evidence: %s", row.Evidence)
+		}
+	}
+	if err != nil {
+		r.notef("probe contradiction: %v", err)
+	}
+	return r, nil
+}
+
+// RunTable3 regenerates Table III.
+func RunTable3(opt Options) (*Result, error) {
+	r := &Result{ID: "table3", Title: "Table III: ease of implementing missing capabilities", Pass: true}
+	for _, row := range caps.TableIII() {
+		r.addf("%-36s | CNK: %-8s | Linux: %-8s  (%s)", row.Capability, row.CNK, row.Linux, row.Evidence)
+	}
+	return r, nil
+}
+
+// RunBoot regenerates the Section III boot-time comparison: under the
+// 10 Hz VHDL simulator used during chip design, "CNK boots in a couple of
+// hours, while Linux takes weeks. Even stripped down, Linux takes days."
+func RunBoot(opt Options) (*Result, error) {
+	eng := sim.NewEngine()
+	ck := cnk.New(eng, hw.NewChip(hw.ChipConfig{ID: 0}), cnk.Config{Reproducible: true})
+	if err := ck.Boot(); err != nil {
+		return nil, err
+	}
+	eng2 := sim.NewEngine()
+	full := fwk.New(eng2, hw.NewChip(hw.ChipConfig{ID: 1}), fwk.Config{})
+	if err := full.Boot(); err != nil {
+		return nil, err
+	}
+	eng3 := sim.NewEngine()
+	strip := fwk.New(eng3, hw.NewChip(hw.ChipConfig{ID: 2}), fwk.Config{Stripped: true})
+	if err := strip.Boot(); err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "boot", Title: "Boot under a 10 Hz VHDL simulator (paper Section III)", Pass: true}
+	r.addf("%s", bringup.DescribeVHDLBoot("CNK", ck.BootInstr))
+	r.addf("%s", bringup.DescribeVHDLBoot("Linux (full)", full.BootInstr))
+	r.addf("%s", bringup.DescribeVHDLBoot("Linux (stripped)", strip.BootInstr))
+	cnkH := bringup.VHDLBootTime(ck.BootInstr)
+	fullH := bringup.VHDLBootTime(full.BootInstr)
+	stripH := bringup.VHDLBootTime(strip.BootInstr)
+	if cnkH > 12 {
+		r.Pass = false
+		r.notef("CNK boot %.1fh is not 'a couple of hours'", cnkH)
+	}
+	if fullH < 24*7 {
+		r.Pass = false
+		r.notef("full Linux boot %.1fh is not 'weeks'", fullH)
+	}
+	if stripH < 24 || stripH > 24*14 {
+		r.Pass = false
+		r.notef("stripped Linux boot %.1fh is not 'days'", stripH)
+	}
+	return r, nil
+}
+
+// reproWorkload is a deterministic two-node job with computation, memory
+// traffic, an MPI exchange and function-shipped I/O — everything that
+// must replay cycle-identically.
+func reproWorkload(ctx kernel.Context, env *machine.Env) {
+	base := env.M.HeapBase(ctx)
+	for i := 0; i < 6; i++ {
+		ctx.Compute(50_000)
+		ctx.Touch(base+hw.VAddr(i*4096), 1024, true)
+	}
+	if env.Rank == 0 {
+		env.Dev.Send(ctx, 1, 77, []byte("lockstep"))
+	} else {
+		env.Dev.Recv(ctx, 77)
+	}
+	ctx.Compute(200_000)
+}
+
+// RunRepro regenerates the Section III methodology: (a) identical runs
+// produce identical scans, (b) a waveform assembled from destructive
+// scans of successive reruns localizes an injected marginal-timing fault
+// to its trigger cycle, and (c) the fault is condition-dependent (it does
+// not fire under every run seed).
+func RunRepro(opt Options) (*Result, error) {
+	r := &Result{ID: "repro", Title: "Cycle reproducibility + fault localization (paper Section III)", Pass: true}
+	probe := bringup.Probe{Nodes: 2, Workload: reproWorkload}
+	stop := sim.Cycles(1_200_000)
+
+	ok, snaps, err := probe.VerifyReproducible(stop, 3)
+	if err != nil {
+		return nil, err
+	}
+	r.addf("3 independent runs to cycle %d: identical scans = %v (trace %x)", uint64(stop), ok, snaps[0].Trace)
+	if !ok {
+		r.Pass = false
+		r.notef("reproducibility broken")
+	}
+
+	// Marginal-timing fault on chip 1, triggered by chip variance x
+	// thermal conditions.
+	fault := &bringup.FaultSpec{
+		Node: 1, ChipVariance: 0.97,
+		WindowStart: 400_000, WindowLen: 400_000,
+	}
+	// The bug manifests only under some ambient conditions; find a run
+	// seed that reproduces it, as the bringup engineers did by rerunning.
+	for seed := uint64(1); seed <= 64; seed++ {
+		fault.RunSeed = seed
+		if _, fires := fault.TriggerCycle(); fires {
+			break
+		}
+	}
+	trigger, fires := fault.TriggerCycle()
+	r.addf("injected marginal path: fires=%v at cycle %d under run seed %d", fires, uint64(trigger), fault.RunSeed)
+	if !fires {
+		r.Pass = false
+		r.notef("fault did not arm; adjust variance")
+		return r, nil
+	}
+	// Not every ambient condition reproduces it (the paper's "did not
+	// occur on every run").
+	fickle := false
+	for seed := uint64(1); seed <= 12; seed++ {
+		f := *fault
+		f.RunSeed = seed
+		if _, fires := f.TriggerCycle(); !fires {
+			fickle = true
+			break
+		}
+	}
+	r.addf("fault absent under some ambient conditions: %v", fickle)
+	if !fickle {
+		r.notef("fault fires under every seed; manifestation should be condition-dependent")
+	}
+
+	step := sim.Cycles(100_000)
+	ref, err := probe.CaptureWaveform(100_000, stop, step)
+	if err != nil {
+		return nil, err
+	}
+	faulty := probe
+	faulty.Fault = fault
+	sus, err := faulty.CaptureWaveform(100_000, stop, step)
+	if err != nil {
+		return nil, err
+	}
+	at, chip, found := bringup.FindDivergence(ref, sus)
+	r.addf("waveform divergence: found=%v at cycle %d on chip %d (fault fired at %d)", found, uint64(at), chip, uint64(trigger))
+	if !found || chip != 1 {
+		r.Pass = false
+		r.notef("divergence not localized to the faulty chip")
+		return r, nil
+	}
+	if at < trigger || at > trigger+step {
+		r.Pass = false
+		r.notef("divergence cycle %d not within one scan step of the trigger %d", uint64(at), uint64(trigger))
+	}
+	return r, nil
+}

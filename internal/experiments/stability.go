@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"bgcnk/internal/apps"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/machine"
+	"bgcnk/internal/noise"
+	"bgcnk/internal/sim"
+)
+
+// linpackOnce runs the HPL-proxy job on a 4-node machine of the given
+// kind and returns the slowest rank's wall time (which is what LINPACK
+// reports).
+func linpackOnce(kind machine.KernelKind, seed uint64, cfg apps.LinpackConfig) (sim.Cycles, error) {
+	m, err := machine.New(machine.Config{Nodes: 4, Kind: kind, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	defer m.Shutdown()
+	var worst sim.Cycles
+	err = m.Run(func(ctx kernel.Context, env *machine.Env) {
+		d, errno := apps.Linpack(ctx, env.MPI, m.HeapBase(ctx), cfg)
+		if errno != kernel.OK {
+			return
+		}
+		if d > worst {
+			worst = d
+		}
+	}, kernel.JobParams{}, sim.FromSeconds(600))
+	return worst, err
+}
+
+// RunLinpack regenerates the Section V-D stability result: repeated
+// LINPACK runs vary by at most 0.01% under CNK (the paper saw 2.11s over
+// a 4.5-hour run, sigma < 1.14s), while the FWK's daemon phases make each
+// run measurably different.
+func RunLinpack(opt Options) (*Result, error) {
+	runs := 36
+	cfg := apps.DefaultLinpack()
+	if opt.Quick {
+		runs = 6
+		cfg.Panels = 12
+	}
+	var cnkTimes, fwkTimes []sim.Cycles
+	for i := 0; i < runs; i++ {
+		t, err := linpackOnce(machine.KindCNK, uint64(i+1), cfg)
+		if err != nil {
+			return nil, err
+		}
+		cnkTimes = append(cnkTimes, t)
+		t, err = linpackOnce(machine.KindFWK, uint64(i+1), cfg)
+		if err != nil {
+			return nil, err
+		}
+		fwkTimes = append(fwkTimes, t)
+	}
+	cs, fsx := noise.Analyze(cnkTimes), noise.Analyze(fwkTimes)
+	r := &Result{ID: "linpack", Title: "LINPACK stability over repeated runs (paper V-D)", Pass: true}
+	r.addf("%d runs of the fixed-work solve on 4 nodes", runs)
+	r.addf("CNK: min=%.3fms max=%.3fms spread=%.4f%% sigma=%.1f cycles",
+		cs.Min.Micros()/1000, cs.Max.Micros()/1000, cs.MaxVariationPct, cs.StdDev)
+	r.addf("FWK: min=%.3fms max=%.3fms spread=%.4f%% sigma=%.1f cycles",
+		fsx.Min.Micros()/1000, fsx.Max.Micros()/1000, fsx.MaxVariationPct, fsx.StdDev)
+	if cs.MaxVariationPct > 0.01 {
+		r.Pass = false
+		r.notef("CNK spread %.4f%% exceeds the paper's 0.01%%", cs.MaxVariationPct)
+	}
+	if fsx.MaxVariationPct <= cs.MaxVariationPct {
+		r.Pass = false
+		r.notef("FWK should be less stable than CNK")
+	}
+	r.notef("paper: 36 runs, 16080.89s..16083.00s (0.01%%); our absolute scale is the simulator's, the spread comparison is the claim")
+	return r, nil
+}
+
+// RunAllreduce regenerates the mpiBench_Allreduce comparison: a double-sum
+// allreduce on 16 CNK nodes has a per-iteration standard deviation of
+// effectively zero, while 4 FWK nodes (the paper used Linux I/O nodes on
+// 10GbE with NFS in the background) show microsecond-scale deviation.
+func RunAllreduce(opt Options) (*Result, error) {
+	// The FWK window must span many timer ticks and daemon periods for
+	// the noise to show (the paper ran 100K-1M iterations).
+	cnkIters, fwkIters := 5000, 60000
+	if opt.Quick {
+		cnkIters, fwkIters = 400, 20000
+	}
+	measure := func(kind machine.KernelKind, nodes, iters int, fsLat sim.Cycles) (noise.Stats, error) {
+		m, err := machine.New(machine.Config{Nodes: nodes, Kind: kind, Seed: 11, FSLatency: fsLat})
+		if err != nil {
+			return noise.Stats{}, err
+		}
+		defer m.Shutdown()
+		var samples []sim.Cycles
+		err = m.Run(func(ctx kernel.Context, env *machine.Env) {
+			out, errno := apps.AllreduceBench(ctx, env.MPI, iters)
+			if errno != kernel.OK {
+				return
+			}
+			if env.Rank == 0 {
+				samples = out
+			}
+		}, kernel.JobParams{}, sim.FromSeconds(600))
+		if err != nil {
+			return noise.Stats{}, err
+		}
+		// Discard the self-synchronization transient: the paper's numbers
+		// are steady-state over huge iteration counts.
+		return noise.Analyze(samples[len(samples)/4:]), nil
+	}
+	cs, err := measure(machine.KindCNK, 16, cnkIters, 0)
+	if err != nil {
+		return nil, err
+	}
+	fsx, err := measure(machine.KindFWK, 4, fwkIters, sim.FromMicros(25))
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "allreduce", Title: "mpiBench_Allreduce stability (paper V-D)", Pass: true}
+	r.addf("CNK, 16 nodes, %d iterations: mean=%.2fus sigma=%.4fus (paper: sigma ~0.0007us)",
+		cnkIters, cs.Mean/850, cs.StdDev/850)
+	r.addf("FWK,  4 nodes, %d iterations: mean=%.2fus sigma=%.4fus (paper: sigma 8.9us)",
+		fwkIters, fsx.Mean/850, fsx.StdDev/850)
+	if cs.StdDev/850 > 0.01 {
+		r.Pass = false
+		r.notef("CNK allreduce sigma %.4fus should be ~0", cs.StdDev/850)
+	}
+	if fsx.StdDev < 85 || fsx.StdDev < 1000*maxF(cs.StdDev, 0.085) {
+		r.Pass = false
+		r.notef("FWK allreduce sigma %.4fus not orders of magnitude above CNK's", fsx.StdDev/850)
+	}
+	r.notef("paper's Linux test ran over 10GbE+NFS; our FWK uses the torus, scaling absolute sigma down — the reproduced claim is effectively-zero vs finite deviation (>1000x separation)")
+	return r, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

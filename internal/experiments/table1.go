@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bgcnk/internal/dcmf"
+	"bgcnk/internal/hw"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/machine"
+	"bgcnk/internal/sim"
+	"bgcnk/internal/torus"
+)
+
+// table1Row is one protocol measurement vs the paper's value.
+type table1Row struct {
+	Name    string
+	PaperUs float64
+	Us      float64
+}
+
+// RunTable1 regenerates Table I: latency for the programming models in
+// SMP mode, measured between two nearest-neighbour nodes under CNK.
+// Latencies are one-way (or to-completion for one-sided ops), exactly as
+// each protocol defines completion.
+func RunTable1(opt Options) (*Result, error) {
+	m, err := machine.New(machine.Config{Nodes: 2, Kind: machine.KindCNK})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Shutdown()
+
+	const iters = 8
+	var (
+		eagerStart, eagerEnd   []sim.Cycles
+		mpiStart, mpiEnd       []sim.Cycles
+		rdvStart, rdvEnd       []sim.Cycles
+		putLat, getLat         []sim.Cycles
+		armciPutLat, armciGetL []sim.Cycles
+	)
+
+	err = m.Run(func(ctx kernel.Context, env *machine.Env) {
+		base := m.HeapBase(ctx)
+		mpi := env.MPI
+		dev := env.Dev
+
+		// Registration handshake for the one-sided tests: rank 1 exports
+		// an 8KB window whose descriptor rank 0 fetches via an eager
+		// message.
+		var remote dcmf.MemRegion
+		if env.Rank == 1 {
+			reg, _ := dev.Register(ctx, base, 8192)
+			payload := make([]byte, 16)
+			pa, ln := uint64(reg.Ranges[0].PA), reg.Ranges[0].Len
+			for i := 0; i < 8; i++ {
+				payload[i] = byte(pa >> (56 - 8*i))
+				payload[8+i] = byte(ln >> (56 - 8*i))
+			}
+			dev.Send(ctx, 0, 900, payload)
+		} else {
+			data, _, _ := dev.Recv(ctx, 900)
+			var pa, ln uint64
+			for i := 0; i < 8; i++ {
+				pa = pa<<8 | uint64(data[i])
+				ln = ln<<8 | uint64(data[8+i])
+			}
+			remote = dcmf.MemRegion{Rank: 1, Size: ln,
+				Ranges: []torus.PhysRange{{PA: hw.PAddr(pa), Len: ln}}}
+		}
+
+		// 1. DCMF eager one-way.
+		for i := 0; i < iters; i++ {
+			mpi.Barrier(ctx)
+			if env.Rank == 0 {
+				eagerStart = append(eagerStart, ctx.Now())
+				dev.Send(ctx, 1, 10, make([]byte, 8))
+			} else {
+				dev.Recv(ctx, 10)
+				eagerEnd = append(eagerEnd, ctx.Now())
+			}
+		}
+		// 2. MPI eager one-way.
+		for i := 0; i < iters; i++ {
+			mpi.Barrier(ctx)
+			if env.Rank == 0 {
+				mpiStart = append(mpiStart, ctx.Now())
+				mpi.Send(ctx, 1, 20, make([]byte, 8))
+			} else {
+				mpi.Recv(ctx, 20)
+				mpiEnd = append(mpiEnd, ctx.Now())
+			}
+		}
+		// 3. MPI rendezvous one-way (protocol latency: small payload
+		// forced through RTS/CTS/put/done).
+		for i := 0; i < iters; i++ {
+			mpi.Barrier(ctx)
+			if env.Rank == 0 {
+				rdvStart = append(rdvStart, ctx.Now())
+				dev.SendRendezvous(ctx, 1, 30, base, 64)
+			} else {
+				dev.RecvRendezvous(ctx, 30, base+16384, 64)
+				rdvEnd = append(rdvEnd, ctx.Now())
+			}
+		}
+		// 4. DCMF Put (completes at target delivery).
+		for i := 0; i < iters; i++ {
+			mpi.Barrier(ctx)
+			if env.Rank == 0 {
+				s := ctx.Now()
+				dev.Put(ctx, remote, 0, base, 8)
+				putLat = append(putLat, ctx.Now()-s)
+			}
+		}
+		// 5. DCMF Get.
+		for i := 0; i < iters; i++ {
+			mpi.Barrier(ctx)
+			if env.Rank == 0 {
+				s := ctx.Now()
+				dev.Get(ctx, remote, 0, base+1024, 8)
+				getLat = append(getLat, ctx.Now()-s)
+			}
+		}
+		// 6-7. ARMCI blocking Put / Get. Rank 1 serves fence acks.
+		armci := dcmf.NewARMCI(dev)
+		if env.Rank == 1 {
+			served := 0
+			// iters timed puts plus the release put each need a fence ack.
+			armci.ServeAcks(ctx, func() bool { served++; return served > iters+1 })
+		} else {
+			for i := 0; i < iters; i++ {
+				s := ctx.Now()
+				armci.PutBlocking(ctx, remote, 0, base, 8)
+				armciPutLat = append(armciPutLat, ctx.Now()-s)
+			}
+			for i := 0; i < iters; i++ {
+				s := ctx.Now()
+				armci.GetBlocking(ctx, remote, 0, base+1024, 8)
+				armciGetL = append(armciGetL, ctx.Now()-s)
+			}
+			// Release the server.
+			armci.PutBlocking(ctx, remote, 0, base, 8)
+		}
+		mpi.Barrier(ctx)
+	}, kernel.JobParams{}, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	oneWay := func(starts, ends []sim.Cycles) sim.Cycles {
+		best := sim.Forever
+		for i := range ends {
+			if i < len(starts) && ends[i] > starts[i] && ends[i]-starts[i] < best {
+				best = ends[i] - starts[i]
+			}
+		}
+		return best
+	}
+	minOf := func(v []sim.Cycles) sim.Cycles {
+		best := sim.Forever
+		for _, x := range v {
+			if x < best {
+				best = x
+			}
+		}
+		return best
+	}
+
+	rows := []table1Row{
+		{"DCMF Eager One-way", 1.6, us(oneWay(eagerStart, eagerEnd))},
+		{"MPI Eager One-way", 2.4, us(oneWay(mpiStart, mpiEnd))},
+		{"MPI Rendezvous One-way", 5.6, us(oneWay(rdvStart, rdvEnd))},
+		{"DCMF Put", 0.9, us(minOf(putLat))},
+		{"DCMF Get", 1.6, us(minOf(getLat))},
+		{"ARMCI blocking Put", 2.0, us(minOf(armciPutLat))},
+		{"ARMCI blocking Get", 3.3, us(minOf(armciGetL))},
+	}
+	r := &Result{ID: "table1", Title: "Table I: latency for programming models, SMP mode", Pass: true}
+	r.addf("%-24s %10s %10s", "Protocol", "paper(us)", "model(us)")
+	for _, row := range rows {
+		r.addf("%-24s %10.1f %10.2f", row.Name, row.PaperUs, row.Us)
+		if row.Us < row.PaperUs*0.5 || row.Us > row.PaperUs*1.6 {
+			r.Pass = false
+			r.notef("%s: %.2fus outside +-50%% of the paper's %.1fus", row.Name, row.Us, row.PaperUs)
+		}
+	}
+	// Ordering assertions (the shape that must hold regardless of
+	// absolute calibration).
+	get := func(name string) float64 {
+		for _, row := range rows {
+			if row.Name == name {
+				return row.Us
+			}
+		}
+		return 0
+	}
+	if !(get("DCMF Put") < get("DCMF Eager One-way") &&
+		get("DCMF Eager One-way") < get("MPI Eager One-way") &&
+		get("MPI Eager One-way") < get("MPI Rendezvous One-way") &&
+		get("DCMF Put") < get("ARMCI blocking Put") &&
+		get("DCMF Get") < get("ARMCI blocking Get")) {
+		r.Pass = false
+		r.notef("protocol ordering violated")
+	}
+	_ = fmt.Sprintf
+	return r, nil
+}

@@ -1,0 +1,251 @@
+package fs
+
+import (
+	"sort"
+	"strings"
+
+	"bgcnk/internal/kernel"
+)
+
+// MountTable composes several filesystems under one namespace, the way an
+// I/O node mounts GPFS, NFS, PVFS or Lustre next to its root: "filesystems
+// that are installed on the I/O nodes ... are available to CNK processes
+// via the ioproxy" (paper Section IV-A). Longest-prefix match selects the
+// filesystem; paths are rewritten relative to the mount point.
+type MountTable struct {
+	root   *FS
+	mounts []mount // sorted by descending prefix length
+}
+
+type mount struct {
+	prefix string // "/gpfs", normalized, no trailing slash
+	fs     *FS
+}
+
+// NewMountTable returns a table rooted at root.
+func NewMountTable(root *FS) *MountTable {
+	return &MountTable{root: root}
+}
+
+// Mount attaches f at prefix (e.g. "/gpfs"). Mounting over an existing
+// prefix replaces it.
+func (mt *MountTable) Mount(prefix string, f *FS) kernel.Errno {
+	prefix = "/" + strings.Trim(prefix, "/")
+	if prefix == "/" {
+		return kernel.EINVAL
+	}
+	for i := range mt.mounts {
+		if mt.mounts[i].prefix == prefix {
+			mt.mounts[i].fs = f
+			return kernel.OK
+		}
+	}
+	mt.mounts = append(mt.mounts, mount{prefix: prefix, fs: f})
+	sort.Slice(mt.mounts, func(i, j int) bool {
+		return len(mt.mounts[i].prefix) > len(mt.mounts[j].prefix)
+	})
+	return kernel.OK
+}
+
+// Unmount detaches the filesystem at prefix.
+func (mt *MountTable) Unmount(prefix string) kernel.Errno {
+	prefix = "/" + strings.Trim(prefix, "/")
+	for i := range mt.mounts {
+		if mt.mounts[i].prefix == prefix {
+			mt.mounts = append(mt.mounts[:i], mt.mounts[i+1:]...)
+			return kernel.OK
+		}
+	}
+	return kernel.EINVAL
+}
+
+// Mounts lists the mount points, longest first.
+func (mt *MountTable) Mounts() []string {
+	var out []string
+	for _, m := range mt.mounts {
+		out = append(out, m.prefix)
+	}
+	return out
+}
+
+// Resolve maps an absolute path to (filesystem, path-within-it).
+func (mt *MountTable) Resolve(path string) (*FS, string) {
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	for _, m := range mt.mounts {
+		if path == m.prefix {
+			return m.fs, "/"
+		}
+		if strings.HasPrefix(path, m.prefix+"/") {
+			return m.fs, path[len(m.prefix):]
+		}
+	}
+	return mt.root, path
+}
+
+// MountClient is a Client-compatible view over a mount table: each
+// operation resolves the path, then delegates to a per-filesystem client
+// that holds the caller's credentials. Descriptors are namespaced so a
+// process can hold files from several filesystems at once.
+type MountClient struct {
+	mt      *MountTable
+	cred    Cred
+	clients map[*FS]*Client
+	cwdFS   *FS
+	cwd     string // within cwdFS
+	cwdAbs  string // absolute, for Getcwd
+	fds     []fdRef
+}
+
+type fdRef struct {
+	c  *Client
+	fd int
+	ok bool
+}
+
+// NewMountClient returns a client over mt with the given credentials.
+func NewMountClient(mt *MountTable, cred Cred) *MountClient {
+	mc := &MountClient{mt: mt, cred: cred, clients: make(map[*FS]*Client), cwdAbs: "/"}
+	mc.cwdFS = mt.root
+	mc.cwd = "/"
+	return mc
+}
+
+func (mc *MountClient) clientFor(f *FS) *Client {
+	c, ok := mc.clients[f]
+	if !ok {
+		c = NewClient(f, mc.cred)
+		mc.clients[f] = c
+	}
+	return c
+}
+
+// abs makes path absolute against the mount-level cwd.
+func (mc *MountClient) abs(path string) string {
+	if strings.HasPrefix(path, "/") {
+		return path
+	}
+	return strings.TrimSuffix(mc.cwdAbs, "/") + "/" + path
+}
+
+func (mc *MountClient) resolve(path string) (*Client, string) {
+	f, rel := mc.mt.Resolve(mc.abs(path))
+	return mc.clientFor(f), rel
+}
+
+// Open opens a file anywhere in the namespace.
+func (mc *MountClient) Open(path string, flags uint64, mode Mode) (int, kernel.Errno) {
+	c, rel := mc.resolve(path)
+	inner, errno := c.Open(rel, flags, mode)
+	if errno != kernel.OK {
+		return -1, errno
+	}
+	for i := range mc.fds {
+		if !mc.fds[i].ok {
+			mc.fds[i] = fdRef{c: c, fd: inner, ok: true}
+			return i, kernel.OK
+		}
+	}
+	mc.fds = append(mc.fds, fdRef{c: c, fd: inner, ok: true})
+	return len(mc.fds) - 1, kernel.OK
+}
+
+func (mc *MountClient) ref(fd int) (fdRef, kernel.Errno) {
+	if fd < 0 || fd >= len(mc.fds) || !mc.fds[fd].ok {
+		return fdRef{}, kernel.EBADF
+	}
+	return mc.fds[fd], kernel.OK
+}
+
+// Close closes a namespaced descriptor.
+func (mc *MountClient) Close(fd int) kernel.Errno {
+	r, errno := mc.ref(fd)
+	if errno != kernel.OK {
+		return errno
+	}
+	mc.fds[fd].ok = false
+	return r.c.Close(r.fd)
+}
+
+// Read reads from a namespaced descriptor.
+func (mc *MountClient) Read(fd int, buf []byte) (int, kernel.Errno) {
+	r, errno := mc.ref(fd)
+	if errno != kernel.OK {
+		return 0, errno
+	}
+	return r.c.Read(r.fd, buf)
+}
+
+// Write writes to a namespaced descriptor.
+func (mc *MountClient) Write(fd int, buf []byte) (int, kernel.Errno) {
+	r, errno := mc.ref(fd)
+	if errno != kernel.OK {
+		return 0, errno
+	}
+	return r.c.Write(r.fd, buf)
+}
+
+// Lseek seeks a namespaced descriptor.
+func (mc *MountClient) Lseek(fd int, off int64, whence int) (uint64, kernel.Errno) {
+	r, errno := mc.ref(fd)
+	if errno != kernel.OK {
+		return 0, errno
+	}
+	return r.c.Lseek(r.fd, off, whence)
+}
+
+// Stat stats a path anywhere in the namespace.
+func (mc *MountClient) Stat(path string) (Stat, kernel.Errno) {
+	c, rel := mc.resolve(path)
+	return c.FS.Stat("/", rel, mc.cred)
+}
+
+// Mkdir creates a directory anywhere in the namespace.
+func (mc *MountClient) Mkdir(path string, m Mode) kernel.Errno {
+	c, rel := mc.resolve(path)
+	return c.FS.Mkdir("/", rel, m, mc.cred)
+}
+
+// Unlink removes a file anywhere in the namespace.
+func (mc *MountClient) Unlink(path string) kernel.Errno {
+	c, rel := mc.resolve(path)
+	return c.FS.Unlink("/", rel, mc.cred)
+}
+
+// Rename moves a file; cross-mount renames fail with EINVAL (as EXDEV
+// would on Linux — the shell copies instead).
+func (mc *MountClient) Rename(o, n string) kernel.Errno {
+	co, ro := mc.resolve(o)
+	cn, rn := mc.resolve(n)
+	if co != cn {
+		return kernel.EINVAL
+	}
+	return co.FS.Rename("/", ro, rn, mc.cred)
+}
+
+// Chdir changes the namespace-level working directory.
+func (mc *MountClient) Chdir(path string) kernel.Errno {
+	a := mc.abs(path)
+	f, rel := mc.mt.Resolve(a)
+	c := mc.clientFor(f)
+	if errno := c.Chdir(rel); errno != kernel.OK {
+		return errno
+	}
+	mc.cwdFS = f
+	mc.cwd = rel
+	mc.cwdAbs = "/" + strings.Trim(a, "/")
+	if mc.cwdAbs == "/" {
+		mc.cwdAbs = "/"
+	}
+	return kernel.OK
+}
+
+// Cwd returns the absolute (namespace-level) working directory.
+func (mc *MountClient) Cwd() string { return mc.cwdAbs }
+
+// Readdir lists a directory anywhere in the namespace.
+func (mc *MountClient) Readdir(path string) ([]string, kernel.Errno) {
+	c, rel := mc.resolve(path)
+	return c.FS.Readdir("/", rel, mc.cred)
+}

@@ -1,0 +1,181 @@
+package fs
+
+import (
+	"testing"
+
+	"bgcnk/internal/kernel"
+)
+
+func ionNamespace() (*MountTable, *FS, *FS, *FS) {
+	root := New()
+	gpfs := New()
+	nfs := New()
+	mt := NewMountTable(root)
+	mt.Mount("/gpfs", gpfs)
+	mt.Mount("/home", nfs)
+	return mt, root, gpfs, nfs
+}
+
+func TestResolveLongestPrefix(t *testing.T) {
+	mt, root, gpfs, _ := ionNamespace()
+	deep := New()
+	mt.Mount("/gpfs/projects", deep)
+	if f, p := mt.Resolve("/gpfs/projects/x"); f != deep || p != "/x" {
+		t.Fatalf("deep mount: %v %q", f == deep, p)
+	}
+	if f, p := mt.Resolve("/gpfs/other"); f != gpfs || p != "/other" {
+		t.Fatalf("gpfs: %v %q", f == gpfs, p)
+	}
+	if f, p := mt.Resolve("/etc/passwd"); f != root || p != "/etc/passwd" {
+		t.Fatalf("root: %v %q", f == root, p)
+	}
+	if f, _ := mt.Resolve("/gpfs"); f != gpfs {
+		t.Fatal("mount point itself must resolve to the mounted fs")
+	}
+	// "/gpfsx" must NOT match the /gpfs mount.
+	if f, _ := mt.Resolve("/gpfsx"); f != root {
+		t.Fatal("prefix match must be component-wise")
+	}
+}
+
+func TestMountReplaceAndUnmount(t *testing.T) {
+	mt, root, _, _ := ionNamespace()
+	newFS := New()
+	if errno := mt.Mount("/gpfs", newFS); errno != kernel.OK {
+		t.Fatal(errno)
+	}
+	if f, _ := mt.Resolve("/gpfs/a"); f != newFS {
+		t.Fatal("remount did not replace")
+	}
+	if errno := mt.Unmount("/gpfs"); errno != kernel.OK {
+		t.Fatal(errno)
+	}
+	if f, _ := mt.Resolve("/gpfs/a"); f != root {
+		t.Fatal("unmount did not fall back to root")
+	}
+	if errno := mt.Unmount("/nope"); errno == kernel.EINVAL {
+		return
+	}
+	t.Fatal("unmount of unknown prefix must fail")
+}
+
+func TestMountRootRejected(t *testing.T) {
+	mt := NewMountTable(New())
+	if errno := mt.Mount("/", New()); errno != kernel.EINVAL {
+		t.Fatal("mounting over / must be rejected")
+	}
+}
+
+func TestMountClientCrossFilesystem(t *testing.T) {
+	mt, root, gpfs, nfs := ionNamespace()
+	root.MustMkdirAll("/tmp")
+	mc := NewMountClient(mt, Root)
+
+	// Create one file per filesystem through the same client.
+	for _, p := range []string{"/tmp/a", "/gpfs/b", "/home/c"} {
+		fd, errno := mc.Open(p, kernel.OCreat|kernel.OWronly, 0644)
+		if errno != kernel.OK {
+			t.Fatalf("open %s: %v", p, errno)
+		}
+		if _, errno := mc.Write(fd, []byte(p)); errno != kernel.OK {
+			t.Fatalf("write %s: %v", p, errno)
+		}
+		mc.Close(fd)
+	}
+	// The files landed on their own filesystems.
+	if _, errno := root.ReadFile("/tmp/a", Root); errno != kernel.OK {
+		t.Fatal("root file missing")
+	}
+	if data, errno := gpfs.ReadFile("/b", Root); errno != kernel.OK || string(data) != "/gpfs/b" {
+		t.Fatalf("gpfs file: %v %q", errno, data)
+	}
+	if _, errno := nfs.ReadFile("/c", Root); errno != kernel.OK {
+		t.Fatal("nfs file missing")
+	}
+	// And are invisible to each other.
+	if _, errno := root.ReadFile("/gpfs/b", Root); errno == kernel.OK {
+		t.Fatal("mounted file leaked into the root fs")
+	}
+}
+
+func TestMountClientChdirAcrossMounts(t *testing.T) {
+	mt, _, gpfs, _ := ionNamespace()
+	gpfs.MustMkdirAll("/jobs/run1")
+	mc := NewMountClient(mt, Root)
+	if errno := mc.Chdir("/gpfs/jobs/run1"); errno != kernel.OK {
+		t.Fatal(errno)
+	}
+	if mc.Cwd() != "/gpfs/jobs/run1" {
+		t.Fatalf("cwd = %q", mc.Cwd())
+	}
+	fd, errno := mc.Open("out.dat", kernel.OCreat|kernel.OWronly, 0644)
+	if errno != kernel.OK {
+		t.Fatal(errno)
+	}
+	mc.Write(fd, []byte("rel"))
+	mc.Close(fd)
+	if data, errno := gpfs.ReadFile("/jobs/run1/out.dat", Root); errno != kernel.OK || string(data) != "rel" {
+		t.Fatalf("relative create: %v %q", errno, data)
+	}
+}
+
+func TestMountClientDescriptorsSpanFilesystems(t *testing.T) {
+	mt, root, gpfs, _ := ionNamespace()
+	root.WriteFile("/r.txt", []byte("root!"), 0644, Root)
+	gpfs.WriteFile("/g.txt", []byte("gpfs!"), 0644, Root)
+	mc := NewMountClient(mt, Root)
+	fr, _ := mc.Open("/r.txt", kernel.ORdonly, 0)
+	fg, _ := mc.Open("/gpfs/g.txt", kernel.ORdonly, 0)
+	br := make([]byte, 5)
+	bg := make([]byte, 5)
+	mc.Read(fr, br)
+	mc.Read(fg, bg)
+	if string(br) != "root!" || string(bg) != "gpfs!" {
+		t.Fatalf("reads: %q %q", br, bg)
+	}
+	if errno := mc.Close(fr); errno != kernel.OK {
+		t.Fatal(errno)
+	}
+	if _, errno := mc.Read(fr, br); errno != kernel.EBADF {
+		t.Fatal("closed fd must be invalid")
+	}
+	// The gpfs descriptor is unaffected, and fd slots are reused.
+	if _, errno := mc.Read(fg, bg); errno != kernel.OK {
+		t.Fatal("sibling descriptor broke")
+	}
+	fr2, _ := mc.Open("/r.txt", kernel.ORdonly, 0)
+	if fr2 != fr {
+		t.Fatalf("fd slot not reused: %d vs %d", fr2, fr)
+	}
+}
+
+func TestMountClientCrossMountRenameFails(t *testing.T) {
+	mt, root, _, _ := ionNamespace()
+	root.WriteFile("/x", nil, 0644, Root)
+	mc := NewMountClient(mt, Root)
+	if errno := mc.Rename("/x", "/gpfs/x"); errno != kernel.EINVAL {
+		t.Fatalf("cross-mount rename: %v", errno)
+	}
+	if errno := mc.Rename("/x", "/y"); errno != kernel.OK {
+		t.Fatalf("same-fs rename: %v", errno)
+	}
+}
+
+func TestMountClientStatMkdirReaddir(t *testing.T) {
+	mt, _, gpfs, _ := ionNamespace()
+	mc := NewMountClient(mt, Root)
+	if errno := mc.Mkdir("/gpfs/data", 0755); errno != kernel.OK {
+		t.Fatal(errno)
+	}
+	st, errno := mc.Stat("/gpfs/data")
+	if errno != kernel.OK || st.Type != TypeDir {
+		t.Fatalf("stat: %v %v", errno, st.Type)
+	}
+	names, errno := mc.Readdir("/gpfs")
+	if errno != kernel.OK || len(names) != 1 || names[0] != "data" {
+		t.Fatalf("readdir: %v %v", errno, names)
+	}
+	if _, errno := gpfs.Stat("/", "/data", Root); errno != kernel.OK {
+		t.Fatal("mkdir landed on the wrong fs")
+	}
+}

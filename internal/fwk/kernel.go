@@ -1,0 +1,244 @@
+// Package fwk implements the Full-Weight Kernel model: a Linux-like
+// compute-node kernel used as the comparison point for every experiment in
+// the paper (the FWQ noise figures, the capability tables, boot time,
+// reproducibility). Its jitter is produced by real mechanisms, not a dial:
+// a 1 kHz timer tick whose ISR steals cycles, daemon kernel threads that
+// preempt user threads and pollute the caches, and 4 KB demand paging with
+// software TLB refills.
+package fwk
+
+import (
+	"fmt"
+
+	"bgcnk/internal/fs"
+	"bgcnk/internal/hw"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/sim"
+)
+
+// Cost model constants.
+const (
+	tickPeriod     = sim.Cycles(850_000) // 1 kHz at 850 MHz
+	tickISRCost    = sim.Cycles(550)     // timer interrupt service
+	syscallCost    = sim.Cycles(350)     // heavier entry/exit than CNK
+	tlbRefillCost  = sim.Cycles(90)      // software TLB reload from page tables
+	pageFaultCost  = sim.Cycles(2800)    // demand-paging a fresh anonymous page
+	ctxSwitchCost  = sim.Cycles(1200)    // full context switch
+	bootFullInstr  = 15_000_000          // full distro boot (weeks at 10 Hz VHDL)
+	bootStripInstr = 2_500_000           // stripped-down boot (days at 10 Hz)
+)
+
+// DaemonSpec describes one background kernel daemon: which core it is
+// (mostly) scheduled on, how often it wakes, how long it runs, and how much
+// memory it touches (cache pollution).
+type DaemonSpec struct {
+	Name       string
+	Core       int
+	Period     sim.Cycles
+	Burst      sim.Cycles
+	WorkingSet uint32 // bytes touched per burst
+}
+
+// DefaultDaemons is the daemon population of a trimmed compute-node Linux:
+// "all processes were suspended except for init, a single shell, the FWQ
+// benchmark, and various kernel daemons that cannot be suspended" (paper
+// Section V-A). Bursts are sized to produce the paper's per-core noise
+// profile: >5% spikes on cores 0, 2 and 3 and ~1.2% on core 1.
+func DefaultDaemons() []DaemonSpec {
+	ms := func(m float64) sim.Cycles { return sim.FromMillis(m) }
+	return []DaemonSpec{
+		{Name: "init", Core: 0, Period: ms(900), Burst: 36_000, WorkingSet: 16 << 10},
+		{Name: "shell", Core: 0, Period: ms(1400), Burst: 20_000, WorkingSet: 8 << 10},
+		{Name: "ksoftirqd/0", Core: 0, Period: ms(60), Burst: 2_500, WorkingSet: 2 << 10},
+		{Name: "ksoftirqd/1", Core: 1, Period: ms(140), Burst: 9_000, WorkingSet: 2 << 10},
+		{Name: "klogd", Core: 2, Period: ms(800), Burst: 40_000, WorkingSet: 24 << 10},
+		{Name: "ksoftirqd/2", Core: 2, Period: ms(70), Burst: 2_500, WorkingSet: 2 << 10},
+		{Name: "kflush", Core: 3, Period: ms(600), Burst: 34_000, WorkingSet: 24 << 10},
+		{Name: "kswapd", Core: 3, Period: ms(1700), Burst: 12_000, WorkingSet: 32 << 10},
+	}
+}
+
+// Config parameterizes the kernel.
+type Config struct {
+	// Seed determines daemon phases and burst jitter. Two boots with
+	// different seeds behave differently — which is exactly why an FWK
+	// is not performance-reproducible (Table II).
+	Seed uint64
+	// Daemons overrides DefaultDaemons; empty slice = no daemons
+	// (unrealistic but useful for ablations). Nil = default set.
+	Daemons []DaemonSpec
+	// Stripped models a minimized kernel build: faster boot, same
+	// mechanisms.
+	Stripped bool
+	// FS is the node's filesystem (local or NFS-like). Nil = fresh fs.
+	FS *fs.FS
+	// FSLatency adds per-operation latency modelling a network
+	// filesystem client (NFS on the paper's I/O nodes).
+	FSLatency sim.Cycles
+}
+
+// Kernel is one node's FWK instance.
+type Kernel struct {
+	Eng  *sim.Engine
+	Chip *hw.Chip
+	cfg  Config
+	rng  *sim.RNG
+
+	FS *fs.FS
+
+	BootedAt  sim.Cycles
+	BootInstr uint64
+	booted    bool
+
+	cpus    []*cpu
+	procs   map[uint32]*Proc
+	futexes map[futexKey][]*futexWaiter
+	nextPID uint32
+	nextTID uint32
+
+	// physAlloc hands out 4KB frames; a simple hashed free list produces
+	// the physical fragmentation real anonymous memory has, which is what
+	// makes "large physically contiguous memory" hard on an FWK
+	// (Table II).
+	physNext  uint64
+	physLimit uint64
+	physIdx   uint64
+	physFree  []hw.PAddr
+}
+
+// New constructs an FWK instance for chip.
+func New(eng *sim.Engine, chip *hw.Chip, cfg Config) *Kernel {
+	if cfg.Daemons == nil {
+		cfg.Daemons = DefaultDaemons()
+	}
+	if cfg.FS == nil {
+		cfg.FS = fs.New()
+	}
+	k := &Kernel{
+		Eng: eng, Chip: chip, cfg: cfg,
+		rng:       sim.NewRNG(cfg.Seed ^ 0xf00dface),
+		FS:        cfg.FS,
+		procs:     make(map[uint32]*Proc),
+		futexes:   make(map[futexKey][]*futexWaiter),
+		physNext:  64 << 20, // kernel image + page tables below
+		physLimit: chip.Mem.Size(),
+	}
+	for _, c := range chip.Cores {
+		k.cpus = append(k.cpus, &cpu{k: k, core: c})
+	}
+	return k
+}
+
+// Name implements kernel.OS.
+func (k *Kernel) Name() string { return "FWK" }
+
+// Boot brings the kernel up: slow (relative to CNK), with daemon phases
+// drawn from the seed. An FWK needs all major units working.
+func (k *Kernel) Boot() error {
+	if k.booted {
+		return fmt.Errorf("fwk: already booted")
+	}
+	for _, u := range []hw.Unit{hw.UnitDDR, hw.UnitTorus, hw.UnitCollective} {
+		if !k.Chip.UnitEnabled(u) {
+			return fmt.Errorf("fwk: cannot boot with %v broken (no workaround flags)", u)
+		}
+	}
+	k.BootInstr = bootFullInstr
+	if k.cfg.Stripped {
+		k.BootInstr = bootStripInstr
+	}
+	k.BootedAt = k.Eng.Now() + sim.Cycles(k.BootInstr)
+	k.booted = true
+	k.Eng.Trace().Record(k.BootedAt, k.tag(), "boot: complete")
+	// Start ticks and daemons.
+	for i, c := range k.cpus {
+		c.nextTick = k.BootedAt + tickPeriod + k.rng.Cycles(tickPeriod) + sim.Cycles(i*997)
+	}
+	for _, spec := range k.cfg.Daemons {
+		if spec.Core >= len(k.cpus) {
+			continue
+		}
+		k.startDaemon(spec)
+	}
+	return nil
+}
+
+func (k *Kernel) tag() string { return fmt.Sprintf("fwk%d", k.Chip.ID) }
+
+// SyscallEntryCost implements kernel.OS.
+func (k *Kernel) SyscallEntryCost() sim.Cycles { return syscallCost }
+
+// allocFrame hands out one 4KB physical frame. Frames are drawn from a
+// deterministic permutation of the pool rather than sequentially: on a
+// real FWK the buddy allocator's state after boot leaves anonymous pages
+// physically scattered, which is exactly why user buffers resolve to long
+// scatter lists (Table II: "Large physically contiguous memory:
+// easy-hard"). Frees are reused LIFO.
+func (k *Kernel) allocFrame() (hw.PAddr, bool) {
+	if n := len(k.physFree); n > 0 {
+		f := k.physFree[n-1]
+		k.physFree = k.physFree[:n-1]
+		return f, true
+	}
+	// Pool: largest power-of-two page count below the limit.
+	pool := uint64(1)
+	for pool*2 <= (k.physLimit-k.physNext)/4096 {
+		pool *= 2
+	}
+	if k.physIdx >= pool {
+		return 0, false
+	}
+	// Odd multiplier => bijection over the power-of-two pool.
+	slot := (k.physIdx * 0x9E3779B1) & (pool - 1)
+	k.physIdx++
+	return hw.PAddr(k.physNext + slot*4096), true
+}
+
+func (k *Kernel) freeFrame(f hw.PAddr) { k.physFree = append(k.physFree, f) }
+
+// RegisterSignal implements kernel.OS.
+func (k *Kernel) RegisterSignal(t *kernel.Thread, sig kernel.Signal, h kernel.SigHandler) kernel.Errno {
+	p := k.procs[t.PID()]
+	if p == nil {
+		return kernel.ESRCH
+	}
+	if sig == kernel.SIGKILL {
+		return kernel.EINVAL
+	}
+	p.Sig.Register(sig, h)
+	return kernel.OK
+}
+
+// MemEvent implements kernel.OS. Unlike CNK, an L1 parity error on a
+// general-purpose kernel has no application recovery path: the kernel
+// kills the task (machine-check semantics).
+func (k *Kernel) MemEvent(t *kernel.Thread, ev hw.MemEvent, va hw.VAddr, write bool) {
+	switch ev {
+	case hw.EvL1Parity:
+		k.Eng.Trace().Record(k.Eng.Now(), k.tag(), "machine check: killing task")
+		k.exitThread(t, 128+int(kernel.SIGKILL))
+	default:
+		t.PostSignal(kernel.SigInfo{Sig: kernel.SIGSEGV, Addr: va, Code: 2})
+		k.deliverSignals(t)
+	}
+}
+
+func (k *Kernel) deliverSignals(t *kernel.Thread) {
+	if t.State == kernel.ThreadExited {
+		return
+	}
+	for _, info := range t.TakePendingSignals() {
+		p := k.procs[t.PID()]
+		if p == nil {
+			return
+		}
+		if h, ok := p.Sig.Lookup(info.Sig); ok {
+			t.Coro().Sleep(300)
+			h(t, info)
+			continue
+		}
+		if info.Sig == kernel.SIGKILL || info.Sig == kernel.SIGSEGV || info.Sig == kernel.SIGBUS {
+			k.exitThread(t, 128+int(info.Sig))
+		}
+	}
+}

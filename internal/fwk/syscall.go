@@ -1,0 +1,318 @@
+package fwk
+
+import (
+	"bgcnk/internal/fs"
+	"bgcnk/internal/hw"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/sim"
+)
+
+// fsOpCost is the local filesystem/VFS work per call, on top of the
+// syscall entry and any configured network-filesystem latency.
+const fsOpCost = sim.Cycles(900)
+
+// Syscall implements kernel.OS: the same numbers as CNK, but file I/O runs
+// locally against the node's filesystem (VFS + NFS client in the model),
+// fork/exec exist, and mmap is fully honoured including permissions.
+func (k *Kernel) Syscall(t *kernel.Thread, num kernel.Sys, args []uint64) (uint64, kernel.Errno) {
+	p := k.procs[t.PID()]
+	if p == nil {
+		return 0, kernel.ESRCH
+	}
+	arg := func(i int) uint64 {
+		if i < len(args) {
+			return args[i]
+		}
+		return 0
+	}
+	if num.IsFileIO() {
+		t.Coro().Sleep(fsOpCost + k.cfg.FSLatency)
+		return k.fileIO(t, p, num, args)
+	}
+	switch num {
+	case kernel.SysBrk:
+		cur, ok := p.Brk.Set(hw.VAddr(arg(0)))
+		if !ok {
+			return uint64(p.Brk.Cur), kernel.ENOMEM
+		}
+		return uint64(cur), kernel.OK
+	case kernel.SysMmap:
+		addr, length, prot, flags := hw.VAddr(arg(0)), arg(1), arg(2), arg(3)
+		if length == 0 {
+			return 0, kernel.EINVAL
+		}
+		perms := permFromProt(prot)
+		var va hw.VAddr
+		if flags&kernel.MapFixed != 0 {
+			if err := p.vmas.AllocFixed(addr, length, perms); err != nil {
+				return 0, kernel.ENOMEM
+			}
+			va = addr
+		} else {
+			a, err := p.vmas.Alloc(length, perms)
+			if err != nil {
+				return 0, kernel.ENOMEM
+			}
+			va = a
+		}
+		if flags&kernel.MapAnonymous == 0 && int64(arg(4)) >= 0 {
+			if errno := k.mmapFile(t, p, va, length, int(arg(4)), int64(arg(5)), perms); errno != kernel.OK {
+				p.vmas.Free(va, length)
+				return 0, errno
+			}
+		}
+		return uint64(va), kernel.OK
+	case kernel.SysMunmap:
+		va, length := hw.VAddr(arg(0)), arg(1)
+		for vp := uint64(va) / pageSize; vp < (uint64(va)+length+pageSize-1)/pageSize; vp++ {
+			if f, ok := p.pages[vp]; ok {
+				k.freeFrame(f)
+				delete(p.pages, vp)
+			}
+		}
+		t.HWCore().TLB.InvalidateASID(p.PID) // coarse shootdown
+		p.vmas.Free(va, length)
+		return 0, kernel.OK
+	case kernel.SysMprotect:
+		// Full permission enforcement (Table II: "Full memory
+		// protection: easy" on Linux): the VMA perms change AND the TLB
+		// entries are shot down so the next access re-checks.
+		if err := p.vmas.Protect(hw.VAddr(arg(0)), arg(1), permFromProt(arg(2))); err != nil {
+			return 0, kernel.ENOMEM
+		}
+		for _, c := range k.cpus {
+			c.core.TLB.InvalidateASID(p.PID)
+		}
+		return 0, kernel.OK
+	case kernel.SysShmGet:
+		return 0, kernel.ENOSYS // use mmap(MAP_SHARED); not needed by the experiments
+	case kernel.SysFutex:
+		uaddr := hw.VAddr(arg(0))
+		switch arg(1) {
+		case kernel.FutexWait:
+			return 0, k.futexWait(t, uaddr, uint32(arg(2)), sim.Cycles(arg(3)))
+		case kernel.FutexWake:
+			return k.futexWake(t, uaddr, uint32(arg(2))), kernel.OK
+		}
+		return 0, kernel.EINVAL
+	case kernel.SysSetTidAddress:
+		t.ClearTID = hw.VAddr(arg(0))
+		return uint64(t.TID()), kernel.OK
+	case kernel.SysYield:
+		c := k.cpus[t.CoreID()]
+		if len(c.ready) > 0 && c.cur == t {
+			t.Coro().Sleep(ctxSwitchCost)
+			c.rotate(t)
+		}
+		return 0, kernel.OK
+	case kernel.SysExit:
+		k.exitThread(t, int(arg(0)))
+		return 0, kernel.OK
+	case kernel.SysGetpid:
+		return uint64(t.PID()), kernel.OK
+	case kernel.SysGettid:
+		return uint64(t.TID()), kernel.OK
+	case kernel.SysUname:
+		if errno := t.StoreCString(hw.VAddr(arg(0)), "2.6.30-fwk"); errno != kernel.OK {
+			return 0, errno
+		}
+		return 0, kernel.OK
+	case kernel.SysGettimeofday:
+		return uint64(k.Eng.Now()), kernel.OK
+	case kernel.SysPersistOpen:
+		return 0, kernel.ENOSYS // no persistent-memory extension on the FWK
+	case kernel.SysFork, kernel.SysExec:
+		return 0, kernel.EINVAL // use the typed Fork/Exec helpers
+	case kernel.SysClone, kernel.SysSigaction, kernel.SysSigreturn:
+		return 0, kernel.EINVAL // typed paths
+	}
+	return 0, kernel.ENOSYS
+}
+
+// fileIO executes a filesystem call against the local (or NFS-modelled)
+// filesystem through the process's own client.
+func (k *Kernel) fileIO(t *kernel.Thread, p *Proc, num kernel.Sys, args []uint64) (uint64, kernel.Errno) {
+	arg := func(i int) uint64 {
+		if i < len(args) {
+			return args[i]
+		}
+		return 0
+	}
+	path := func(i int) (string, kernel.Errno) {
+		return t.LoadCString(hw.VAddr(arg(i)), 1024)
+	}
+	switch num {
+	case kernel.SysOpen:
+		pth, errno := path(0)
+		if errno != kernel.OK {
+			return 0, errno
+		}
+		fd, errno := p.fsc.Open(pth, arg(1), fs.Mode(arg(2)))
+		return uint64(int64(fd)), errno
+	case kernel.SysClose:
+		return 0, p.fsc.Close(int(arg(0)))
+	case kernel.SysRead:
+		buf := make([]byte, arg(2))
+		n, errno := p.fsc.Read(int(arg(0)), buf)
+		if errno != kernel.OK {
+			return 0, errno
+		}
+		if n > 0 {
+			if errno := t.Store(hw.VAddr(arg(1)), buf[:n]); errno != kernel.OK {
+				return 0, errno
+			}
+		}
+		return uint64(n), kernel.OK
+	case kernel.SysWrite:
+		buf := make([]byte, arg(2))
+		if errno := t.Load(hw.VAddr(arg(1)), buf); errno != kernel.OK {
+			return 0, errno
+		}
+		n, errno := p.fsc.Write(int(arg(0)), buf)
+		return uint64(n), errno
+	case kernel.SysLseek:
+		pos, errno := p.fsc.Lseek(int(arg(0)), int64(arg(1)), int(arg(2)))
+		return pos, errno
+	case kernel.SysStat, kernel.SysFstat:
+		var st fs.Stat
+		var errno kernel.Errno
+		if num == kernel.SysStat {
+			pth, e := path(0)
+			if e != kernel.OK {
+				return 0, e
+			}
+			st, errno = p.fsc.Stat(pth)
+		} else {
+			st, errno = p.fsc.Fstat(int(arg(0)))
+		}
+		if errno != kernel.OK {
+			return 0, errno
+		}
+		if hw.VAddr(arg(1)) != 0 {
+			if errno := t.StoreU64(hw.VAddr(arg(1)), st.Size); errno != kernel.OK {
+				return 0, errno
+			}
+		}
+		return st.Size, kernel.OK
+	case kernel.SysUnlink:
+		pth, errno := path(0)
+		if errno != kernel.OK {
+			return 0, errno
+		}
+		return 0, p.fsc.Unlink(pth)
+	case kernel.SysRename:
+		o, errno := path(0)
+		if errno != kernel.OK {
+			return 0, errno
+		}
+		n, errno := path(1)
+		if errno != kernel.OK {
+			return 0, errno
+		}
+		return 0, p.fsc.Rename(o, n)
+	case kernel.SysMkdir:
+		pth, errno := path(0)
+		if errno != kernel.OK {
+			return 0, errno
+		}
+		return 0, p.fsc.Mkdir(pth, fs.Mode(arg(1)))
+	case kernel.SysRmdir:
+		pth, errno := path(0)
+		if errno != kernel.OK {
+			return 0, errno
+		}
+		return 0, p.fsc.Rmdir(pth)
+	case kernel.SysDup:
+		fd, errno := p.fsc.Dup(int(arg(0)))
+		return uint64(int64(fd)), errno
+	case kernel.SysGetcwd:
+		s := p.fsc.Cwd()
+		if uint64(len(s)+1) > arg(1) {
+			return 0, kernel.ENAMETOOLONG
+		}
+		if errno := t.StoreCString(hw.VAddr(arg(0)), s); errno != kernel.OK {
+			return 0, errno
+		}
+		return uint64(len(s)), kernel.OK
+	case kernel.SysChdir:
+		pth, errno := path(0)
+		if errno != kernel.OK {
+			return 0, errno
+		}
+		return 0, p.fsc.Chdir(pth)
+	case kernel.SysTruncate:
+		pth, errno := path(0)
+		if errno != kernel.OK {
+			return 0, errno
+		}
+		return 0, p.fsc.Truncate(pth, arg(1))
+	case kernel.SysReaddir:
+		pth, errno := path(0)
+		if errno != kernel.OK {
+			return 0, errno
+		}
+		names, errno := p.fsc.Readdir(pth)
+		if errno != kernel.OK {
+			return 0, errno
+		}
+		var out []byte
+		for _, n := range names {
+			out = append(out, n...)
+			out = append(out, 0)
+		}
+		if uint64(len(out)) > arg(2) {
+			return 0, kernel.EOVERFLOW
+		}
+		if len(out) > 0 {
+			if errno := t.Store(hw.VAddr(arg(1)), out); errno != kernel.OK {
+				return 0, errno
+			}
+		}
+		return uint64(len(names)), kernel.OK
+	}
+	return 0, kernel.ENOSYS
+}
+
+// mmapFile reads file contents into the mapping (model simplification:
+// eager read; the FWK does honour the mapping's permissions, unlike CNK).
+func (k *Kernel) mmapFile(t *kernel.Thread, p *Proc, va hw.VAddr, length uint64, fd int, off int64, perms hw.Perm) kernel.Errno {
+	if _, errno := p.fsc.Lseek(fd, off, kernel.SeekSet); errno != kernel.OK {
+		return errno
+	}
+	buf := make([]byte, 64<<10)
+	var done uint64
+	for done < length {
+		chunk := length - done
+		if chunk > uint64(len(buf)) {
+			chunk = uint64(len(buf))
+		}
+		n, errno := p.fsc.Read(fd, buf[:chunk])
+		if errno != kernel.OK {
+			return errno
+		}
+		if n == 0 {
+			break
+		}
+		// Store via kernel mode: the mapping may be read-only for the
+		// user, but the kernel populates it.
+		if errno := t.StoreKernel(va+hw.VAddr(done), buf[:n]); errno != kernel.OK {
+			return errno
+		}
+		done += uint64(n)
+	}
+	return kernel.OK
+}
+
+func permFromProt(prot uint64) hw.Perm {
+	var p hw.Perm
+	if prot&kernel.ProtRead != 0 {
+		p |= hw.PermRead
+	}
+	if prot&kernel.ProtWrite != 0 {
+		p |= hw.PermWrite
+	}
+	if prot&kernel.ProtExec != 0 {
+		p |= hw.PermExec
+	}
+	return p
+}

@@ -1,0 +1,102 @@
+// Package hw models the Blue Gene/P compute chip: a quad-core 850 MHz
+// System-On-a-Chip with software-managed TLBs, an L1/L3/DDR memory
+// hierarchy, Debug Address Compare (DAC) registers, Boot SRAM, DDR
+// self-refresh, per-unit enable flags for bringup on partial hardware, and
+// L1 parity-error injection.
+//
+// The model is a deterministic cost model, not a gate-level simulator: it
+// answers "how many cycles does this access cost and what state does it
+// change", which is the level at which the paper's arguments (TLB misses,
+// interrupt noise, reproducible reset) live.
+package hw
+
+import "fmt"
+
+// VAddr is a virtual address in a process address space.
+type VAddr uint64
+
+// PAddr is a physical DDR address.
+type PAddr uint64
+
+// PageSize is one of the hardware translation sizes. The PPC450 supports
+// many; Blue Gene/P's CNK uses the large ones (1MB..1GB) for its static
+// map, while a Linux-style kernel uses 4KB pages.
+type PageSize uint64
+
+// Hardware page sizes available to the TLB.
+const (
+	Page4K   PageSize = 4 << 10
+	Page64K  PageSize = 64 << 10
+	Page1M   PageSize = 1 << 20
+	Page16M  PageSize = 16 << 20
+	Page256M PageSize = 256 << 20
+	Page1G   PageSize = 1 << 30
+)
+
+// PageSizes lists the supported sizes in increasing order.
+var PageSizes = []PageSize{Page4K, Page64K, Page1M, Page16M, Page256M, Page1G}
+
+// LargePageSizes lists the sizes CNK's static partitioner tiles with
+// (paper Section IV-C: 1MB, 16MB, 256MB, 1GB).
+var LargePageSizes = []PageSize{Page1M, Page16M, Page256M, Page1G}
+
+// Valid reports whether s is a supported hardware page size.
+func (s PageSize) Valid() bool {
+	for _, p := range PageSizes {
+		if p == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (s PageSize) String() string {
+	switch {
+	case s >= Page1G:
+		return fmt.Sprintf("%dGB", uint64(s)>>30)
+	case s >= Page1M:
+		return fmt.Sprintf("%dMB", uint64(s)>>20)
+	default:
+		return fmt.Sprintf("%dKB", uint64(s)>>10)
+	}
+}
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// PermRW and friends are common combinations.
+const (
+	PermRW  = PermRead | PermWrite
+	PermRX  = PermRead | PermExec
+	PermRWX = PermRead | PermWrite | PermExec
+)
+
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Has reports whether p includes all bits of q.
+func (p Perm) Has(q Perm) bool { return p&q == q }
+
+// AlignDown rounds a down to a multiple of size.
+func AlignDown(a uint64, size uint64) uint64 { return a &^ (size - 1) }
+
+// AlignUp rounds a up to a multiple of size.
+func AlignUp(a uint64, size uint64) uint64 { return (a + size - 1) &^ (size - 1) }

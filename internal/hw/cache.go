@@ -1,0 +1,240 @@
+package hw
+
+import "bgcnk/internal/sim"
+
+// Cache geometry and cost constants, approximating Blue Gene/P.
+const (
+	L1LineSize    = 32   // bytes per L1 line (PPC450)
+	L1Sets        = 64   // 64 sets x 16 ways x 32B = 32KB
+	L1Ways        = 16   //
+	L3LineSize    = 128  // bytes per L3 line
+	L3Sets        = 4096 // 4096 sets x 16 ways x 128B = 8MB shared eDRAM
+	L3Ways        = 16   //
+	CostL3Hit     = 46   // extra cycles for an L1 load miss filled from L3
+	CostDDR       = 104  // extra cycles for an L3 miss filled from DDR
+	CostStoreMiss = 2    // store-queue throttle for a write-through L1 store miss
+	RefreshInt    = 6630 // DRAM refresh interval: 7.8us at 850MHz
+	RefreshLen    = 94   // DRAM busy per refresh: ~110ns
+)
+
+// MemEvent is an exceptional condition raised by a memory access.
+type MemEvent uint8
+
+// Memory access events.
+const (
+	EvNone MemEvent = iota
+	// EvL1Parity is a soft error in the L1 data array. CNK delivers it to
+	// the application for recovery (paper Section V-B, the Gordon Bell
+	// "Kelvin-Helmholtz" run); an FWK typically panics or kills the task.
+	EvL1Parity
+)
+
+type cacheSet struct {
+	tags   []uint64
+	valid  []bool
+	victim int // round-robin, as on the real part — deterministic
+}
+
+func newCacheArray(sets, ways int) []cacheSet {
+	a := make([]cacheSet, sets)
+	for i := range a {
+		a[i] = cacheSet{tags: make([]uint64, ways), valid: make([]bool, ways)}
+	}
+	return a
+}
+
+// hit probes without filling.
+func (s *cacheSet) hit(tag uint64) bool {
+	for i, t := range s.tags {
+		if s.valid[i] && t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// access returns true on hit; on miss it fills the line.
+func (s *cacheSet) access(tag uint64) bool {
+	if s.hit(tag) {
+		return true
+	}
+	s.tags[s.victim] = tag
+	s.valid[s.victim] = true
+	s.victim = (s.victim + 1) % len(s.tags)
+	return false
+}
+
+func (s *cacheSet) invalidateAll() {
+	for i := range s.valid {
+		s.valid[i] = false
+	}
+	s.victim = 0
+}
+
+// CacheSim is the chip's memory-hierarchy cost model: private L1 per core,
+// a shared 8MB L3, and DDR with a refresh window. It is a deterministic
+// state machine: given the same access stream it produces the same costs,
+// which is a precondition for the paper's cycle-reproducibility claims.
+//
+// The model intentionally keeps a real tag array rather than a flat cost:
+// the residual "noise floor" CNK shows in FWQ (Fig 7, max variation
+// <0.006%) emerges from genuine L1 set conflicts between a benchmark's
+// working set and its results buffer, plus DDR refresh collisions — not
+// from a tunable jitter dial.
+// L3Mapping selects how physical lines map to L3 banks/sets. The BG/P
+// memory system exposed configuration parameters controlling "the mapping
+// of physical memory to cache controllers and to memory banks within the
+// cache", which CNK's bringup controls let designers sweep while running
+// application kernels (paper Section III).
+type L3Mapping uint8
+
+// L3 mapping policies.
+const (
+	// L3ModuloMap is the naive modulo index: power-of-two strides
+	// collide on a single set.
+	L3ModuloMap L3Mapping = iota
+	// L3XorFoldMap folds high address bits into the index, spreading
+	// power-of-two strides across banks.
+	L3XorFoldMap
+)
+
+type CacheSim struct {
+	l1 [][]cacheSet // per core
+	l3 []cacheSet
+
+	// l3map is the configured bank mapping (a chip design parameter).
+	l3map L3Mapping
+
+	// parityArm, when set for a core, makes that core's next L1 access
+	// report EvL1Parity (soft-error injection for the recovery tests).
+	parityArm []bool
+
+	L1Hits, L1Misses   []uint64
+	StoreMisses        []uint64
+	L3Hits, L3Misses   uint64
+	RefreshStalls      uint64
+	RefreshStallCycles sim.Cycles
+}
+
+// NewCacheSim builds the hierarchy for a chip with cores cores.
+func NewCacheSim(cores int) *CacheSim {
+	cs := &CacheSim{
+		l1:          make([][]cacheSet, cores),
+		l3:          newCacheArray(L3Sets, L3Ways),
+		parityArm:   make([]bool, cores),
+		L1Hits:      make([]uint64, cores),
+		L1Misses:    make([]uint64, cores),
+		StoreMisses: make([]uint64, cores),
+	}
+	for i := range cs.l1 {
+		cs.l1[i] = newCacheArray(L1Sets, L1Ways)
+	}
+	return cs
+}
+
+// SetL3Mapping reconfigures the L3 bank mapping (a bringup control flag;
+// normally fixed at boot).
+func (cs *CacheSim) SetL3Mapping(m L3Mapping) { cs.l3map = m }
+
+// L3MappingConfigured returns the active mapping.
+func (cs *CacheSim) L3MappingConfigured() L3Mapping { return cs.l3map }
+
+// l3index maps an L3 line number to its set under the configured policy.
+func (cs *CacheSim) l3index(l3line uint64) uint64 {
+	if cs.l3map == L3XorFoldMap {
+		l3line ^= l3line >> 12
+		l3line ^= l3line >> 24
+	}
+	return l3line % L3Sets
+}
+
+// ArmL1Parity makes core's next L1 access raise EvL1Parity.
+func (cs *CacheSim) ArmL1Parity(core int) { cs.parityArm[core] = true }
+
+// Access charges the cost of touching [pa, pa+size) from core at time now.
+// The returned cost covers only hierarchy penalties; the consumer charges
+// its own instruction cycles. L1-resident accesses cost zero extra.
+func (cs *CacheSim) Access(core int, pa PAddr, size uint32, write bool, now sim.Cycles) (sim.Cycles, MemEvent) {
+	ev := EvNone
+	if cs.parityArm[core] {
+		cs.parityArm[core] = false
+		ev = EvL1Parity
+	}
+	var cost sim.Cycles
+	first := uint64(pa) / L1LineSize
+	last := (uint64(pa) + uint64(size) - 1) / L1LineSize
+	if size == 0 {
+		last = first
+	}
+	for line := first; line <= last; line++ {
+		addr := line * L1LineSize
+		set := &cs.l1[core][line%L1Sets]
+		if set.hit(line) {
+			cs.L1Hits[core]++
+			continue
+		}
+		if write {
+			// The PPC450 L1 is write-through with no allocate-on-store:
+			// a store miss goes to the store queue and the L2/L3 without
+			// installing an L1 line (and without evicting anything). The
+			// store buffer absorbs the downstream latency.
+			cs.StoreMisses[core]++
+			l3line := addr / L3LineSize
+			cs.l3[cs.l3index(l3line)].access(l3line)
+			cost += CostStoreMiss
+			continue
+		}
+		cs.L1Misses[core]++
+		set.access(line) // allocate on load miss
+		l3line := addr / L3LineSize
+		l3set := &cs.l3[cs.l3index(l3line)]
+		if l3set.access(l3line) {
+			cs.L3Hits++
+			cost += CostL3Hit
+			continue
+		}
+		cs.L3Misses++
+		c := sim.Cycles(CostDDR)
+		// DDR refresh: if the access lands in the refresh window it
+		// stalls for the remainder of the window.
+		phase := uint64(now+cost) % RefreshInt
+		if phase < RefreshLen {
+			stall := sim.Cycles(RefreshLen - phase)
+			c += stall
+			cs.RefreshStalls++
+			cs.RefreshStallCycles += stall
+		}
+		cost += c
+	}
+	return cost, ev
+}
+
+// FlushAll writes back and invalidates every level, as CNK does before
+// putting DDR in self-refresh for a reproducible reset.
+func (cs *CacheSim) FlushAll() {
+	for _, l1 := range cs.l1 {
+		for i := range l1 {
+			l1[i].invalidateAll()
+		}
+	}
+	for i := range cs.l3 {
+		cs.l3[i].invalidateAll()
+	}
+}
+
+// FlushCore invalidates one core's L1.
+func (cs *CacheSim) FlushCore(core int) {
+	for i := range cs.l1[core] {
+		cs.l1[core][i].invalidateAll()
+	}
+}
+
+func (cs *CacheSim) reset() {
+	cs.FlushAll()
+	for i := range cs.L1Hits {
+		cs.L1Hits[i], cs.L1Misses[i], cs.StoreMisses[i] = 0, 0, 0
+		cs.parityArm[i] = false
+	}
+	cs.L3Hits, cs.L3Misses = 0, 0
+	cs.RefreshStalls, cs.RefreshStallCycles = 0, 0
+}

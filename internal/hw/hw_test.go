@@ -1,0 +1,364 @@
+package hw
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"bgcnk/internal/sim"
+)
+
+func TestMemoryReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory(1 << 20)
+	src := []byte("the quick brown fox")
+	m.Write(100, src)
+	dst := make([]byte, len(src))
+	m.Read(100, dst)
+	if !bytes.Equal(src, dst) {
+		t.Fatalf("round trip: got %q", dst)
+	}
+}
+
+func TestMemoryCrossesChunkBoundary(t *testing.T) {
+	m := NewMemory(1 << 20)
+	src := make([]byte, 1000)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	pa := PAddr(memChunk - 500)
+	m.Write(pa, src)
+	dst := make([]byte, len(src))
+	m.Read(pa, dst)
+	if !bytes.Equal(src, dst) {
+		t.Fatal("chunk-spanning round trip failed")
+	}
+}
+
+func TestMemoryZeroFill(t *testing.T) {
+	m := NewMemory(1 << 20)
+	dst := []byte{1, 2, 3, 4}
+	m.Read(5000, dst)
+	for _, b := range dst {
+		if b != 0 {
+			t.Fatal("unwritten memory should read as zero")
+		}
+	}
+}
+
+func TestMemoryOutOfRangePanics(t *testing.T) {
+	m := NewMemory(1024)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	m.Write(1020, []byte{1, 2, 3, 4, 5})
+}
+
+func TestMemoryU64BigEndian(t *testing.T) {
+	m := NewMemory(1 << 16)
+	m.WriteU64(64, 0x0102030405060708)
+	var b [8]byte
+	m.Read(64, b[:])
+	if b[0] != 1 || b[7] != 8 {
+		t.Fatalf("not big-endian: % x", b)
+	}
+	if v := m.ReadU64(64); v != 0x0102030405060708 {
+		t.Fatalf("ReadU64 = %#x", v)
+	}
+}
+
+func TestMemoryU64PropertyRoundTrip(t *testing.T) {
+	m := NewMemory(1 << 16)
+	f := func(v uint64, off uint16) bool {
+		pa := PAddr(off % 60000)
+		m.WriteU64(pa, v)
+		return m.ReadU64(pa) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfRefreshPreservesAcrossReset(t *testing.T) {
+	ch := NewChip(ChipConfig{ID: 0})
+	ch.Mem.Write(4096, []byte("persistent"))
+	ch.Mem.EnterSelfRefresh()
+	ch.Reset()
+	got := make([]byte, 10)
+	ch.Mem.Read(4096, got)
+	if string(got) != "persistent" {
+		t.Fatalf("self-refresh lost data: %q", got)
+	}
+}
+
+func TestResetWithoutSelfRefreshLosesDDR(t *testing.T) {
+	ch := NewChip(ChipConfig{ID: 0})
+	ch.Mem.Write(4096, []byte("volatile"))
+	ch.Reset()
+	got := make([]byte, 8)
+	ch.Mem.Read(4096, got)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("reset without self-refresh should scramble DDR")
+		}
+	}
+}
+
+func TestTLBStaticMapNoMisses(t *testing.T) {
+	var tlb TLB
+	tlb.InsertPinned(TLBEntry{PID: 1, VBase: 0, PBase: 0x1000000, Size: Page16M, Perms: PermRWX})
+	for va := VAddr(0); va < VAddr(Page16M); va += 123457 {
+		pa, perm, ok := tlb.Lookup(1, va)
+		if !ok {
+			t.Fatalf("miss at %#x under static map", uint64(va))
+		}
+		if pa != 0x1000000+PAddr(va) {
+			t.Fatalf("bad translation %#x -> %#x", uint64(va), uint64(pa))
+		}
+		if !perm.Has(PermRW) {
+			t.Fatal("perms lost")
+		}
+	}
+	if tlb.Misses != 0 {
+		t.Fatalf("misses = %d, want 0", tlb.Misses)
+	}
+}
+
+func TestTLBMissAndDynamicFill(t *testing.T) {
+	var tlb TLB
+	if _, _, ok := tlb.Lookup(1, 0x5000); ok {
+		t.Fatal("empty TLB must miss")
+	}
+	tlb.Insert(TLBEntry{PID: 1, VBase: 0x5000, PBase: 0x9000, Size: Page4K, Perms: PermRW})
+	if pa, _, ok := tlb.Lookup(1, 0x5FFF); !ok || pa != 0x9FFF {
+		t.Fatalf("fill failed: pa=%#x ok=%v", uint64(pa), ok)
+	}
+}
+
+func TestTLBASIDIsolation(t *testing.T) {
+	var tlb TLB
+	tlb.Insert(TLBEntry{PID: 1, VBase: 0, PBase: 0, Size: Page1M, Perms: PermRW})
+	if _, _, ok := tlb.Lookup(2, 100); ok {
+		t.Fatal("translation leaked across address spaces")
+	}
+	tlb.InvalidateASID(1)
+	if _, _, ok := tlb.Lookup(1, 100); ok {
+		t.Fatal("InvalidateASID left entry")
+	}
+}
+
+func TestTLBRoundRobinEvictionSparesPinned(t *testing.T) {
+	var tlb TLB
+	tlb.InsertPinned(TLBEntry{PID: 9, VBase: 0xF0000000, PBase: 0, Size: Page1M, Perms: PermRW})
+	// Overfill with dynamic entries.
+	for i := 0; i < TLBSize*2; i++ {
+		tlb.Insert(TLBEntry{PID: 1, VBase: VAddr(i) * VAddr(Page4K), PBase: 0, Size: Page4K, Perms: PermRW})
+	}
+	if _, _, ok := tlb.Lookup(9, 0xF0000000); !ok {
+		t.Fatal("pinned entry evicted")
+	}
+	if tlb.ValidCount() != TLBSize {
+		t.Fatalf("valid = %d, want %d", tlb.ValidCount(), TLBSize)
+	}
+}
+
+func TestTLBAllPinnedInsertPanics(t *testing.T) {
+	var tlb TLB
+	for i := 0; i < TLBSize; i++ {
+		tlb.InsertPinned(TLBEntry{PID: 1, VBase: VAddr(i) << 20, PBase: 0, Size: Page1M, Perms: PermRW})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic inserting into fully pinned TLB")
+		}
+	}()
+	tlb.Insert(TLBEntry{PID: 1, VBase: 0xFF000000, Size: Page4K, Perms: PermRW})
+}
+
+func TestCacheL1HitAfterWarmup(t *testing.T) {
+	cs := NewCacheSim(4)
+	c0, _ := cs.Access(0, 0x1000, 2048, false, 0)
+	if c0 == 0 {
+		t.Fatal("cold access should cost cycles")
+	}
+	c1, _ := cs.Access(0, 0x1000, 2048, false, 1000)
+	if c1 != 0 {
+		t.Fatalf("warm L1 access cost %d, want 0", c1)
+	}
+	if cs.L1Misses[0] == 0 || cs.L1Hits[0] == 0 {
+		t.Fatal("counters not updated")
+	}
+}
+
+func TestCachePrivateL1SharedL3(t *testing.T) {
+	cs := NewCacheSim(4)
+	cs.Access(0, 0x2000, 64, false, 0) // cold: misses to DDR
+	cost1, _ := cs.Access(1, 0x2000, 64, false, 100)
+	// Core 1 misses its private L1 but hits shared L3.
+	if cost1 == 0 {
+		t.Fatal("core 1 should miss its own L1")
+	}
+	if cost1 >= CostDDR {
+		t.Fatalf("core 1 cost %d should be an L3 hit (<%d)", cost1, CostDDR)
+	}
+}
+
+func TestCacheDeterministicCosts(t *testing.T) {
+	run := func() sim.Cycles {
+		cs := NewCacheSim(4)
+		var total sim.Cycles
+		for i := 0; i < 1000; i++ {
+			c, _ := cs.Access(i%4, PAddr(i*37)%(1<<20), 64, i%2 == 0, sim.Cycles(i*13))
+			total += c
+		}
+		return total
+	}
+	if run() != run() {
+		t.Fatal("cache cost model is not deterministic")
+	}
+}
+
+func TestCacheRefreshWindowStalls(t *testing.T) {
+	cs := NewCacheSim(1)
+	// An access inside the refresh window costs more than one outside.
+	inWin, _ := cs.Access(0, 0x100000, 4, false, 0) // phase 0 < RefreshLen
+	cs2 := NewCacheSim(1)
+	outWin, _ := cs2.Access(0, 0x100000, 4, false, RefreshLen+10)
+	if inWin <= outWin {
+		t.Fatalf("refresh stall missing: in=%d out=%d", inWin, outWin)
+	}
+	if cs.RefreshStalls != 1 {
+		t.Fatalf("RefreshStalls = %d", cs.RefreshStalls)
+	}
+}
+
+func TestCacheParityInjection(t *testing.T) {
+	cs := NewCacheSim(2)
+	cs.ArmL1Parity(1)
+	_, ev := cs.Access(0, 0, 4, false, 0)
+	if ev != EvNone {
+		t.Fatal("parity delivered to wrong core")
+	}
+	_, ev = cs.Access(1, 0, 4, false, 0)
+	if ev != EvL1Parity {
+		t.Fatal("armed parity not delivered")
+	}
+	_, ev = cs.Access(1, 0, 4, false, 0)
+	if ev != EvNone {
+		t.Fatal("parity should fire once")
+	}
+}
+
+func TestCacheFlushAllColdAfter(t *testing.T) {
+	cs := NewCacheSim(1)
+	cs.Access(0, 0x3000, 64, false, 0)
+	cs.FlushAll()
+	cost, _ := cs.Access(0, 0x3000, 64, false, RefreshLen+1)
+	if cost < CostDDR {
+		t.Fatalf("post-flush access cost %d, want DDR miss", cost)
+	}
+}
+
+func TestChipUnits(t *testing.T) {
+	ch := NewChip(ChipConfig{ID: 3})
+	for _, u := range AllUnits() {
+		if !ch.UnitEnabled(u) {
+			t.Fatalf("unit %v should default enabled", u)
+		}
+	}
+	ch.SetUnitEnabled(UnitTorus, false)
+	if ch.UnitEnabled(UnitTorus) {
+		t.Fatal("disable failed")
+	}
+	ch.Reset()
+	if ch.UnitEnabled(UnitTorus) {
+		t.Fatal("unit fuses must survive reset (they model broken hardware)")
+	}
+}
+
+func TestChipDACGuard(t *testing.T) {
+	ch := NewChip(ChipConfig{})
+	core := ch.Cores[2]
+	core.DAC[0] = DACRange{Enabled: true, PID: 7, Lo: 0x10000, Hi: 0x11000}
+	if !core.CheckDAC(7, 0x10800) {
+		t.Fatal("store in guard range must trip DAC")
+	}
+	if core.CheckDAC(7, 0x11000) {
+		t.Fatal("Hi bound is exclusive")
+	}
+	if core.CheckDAC(8, 0x10800) {
+		t.Fatal("DAC must be PID-qualified")
+	}
+}
+
+func TestChipScanIsDestructive(t *testing.T) {
+	ch := NewChip(ChipConfig{})
+	h1 := ch.Scan()
+	if !ch.Scanned {
+		t.Fatal("scan must mark chip")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("use after scan must panic")
+			}
+		}()
+		ch.MustBeUsable()
+	}()
+	ch.Reset()
+	ch.MustBeUsable()
+	h2 := ch.Scan()
+	if h1 != h2 {
+		// After reset both chips are in the pristine state, so the scans
+		// should agree (counters cleared).
+		t.Fatalf("pristine scans differ: %x vs %x", h1, h2)
+	}
+}
+
+func TestChipStateHashReflectsActivity(t *testing.T) {
+	a := NewChip(ChipConfig{})
+	b := NewChip(ChipConfig{})
+	if a.StateHash() != b.StateHash() {
+		t.Fatal("identical pristine chips must hash equal")
+	}
+	a.Cores[0].Interrupts++
+	if a.StateHash() == b.StateHash() {
+		t.Fatal("state change must alter hash")
+	}
+}
+
+func TestAlignHelpers(t *testing.T) {
+	if AlignDown(0x12345, 0x1000) != 0x12000 {
+		t.Fatal("AlignDown")
+	}
+	if AlignUp(0x12345, 0x1000) != 0x13000 {
+		t.Fatal("AlignUp")
+	}
+	if AlignUp(0x12000, 0x1000) != 0x12000 {
+		t.Fatal("AlignUp exact")
+	}
+}
+
+func TestPageSizeValidity(t *testing.T) {
+	for _, s := range PageSizes {
+		if !s.Valid() {
+			t.Fatalf("%v should be valid", s)
+		}
+	}
+	if PageSize(12345).Valid() {
+		t.Fatal("arbitrary size should be invalid")
+	}
+	if Page1M.String() != "1MB" || Page1G.String() != "1GB" || Page4K.String() != "4KB" {
+		t.Fatal("String forms")
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if PermRWX.String() != "rwx" || PermRX.String() != "r-x" || Perm(0).String() != "---" {
+		t.Fatal("perm strings")
+	}
+	if !PermRWX.Has(PermRead) || PermRead.Has(PermWrite) {
+		t.Fatal("Has")
+	}
+}

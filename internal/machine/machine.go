@@ -1,0 +1,272 @@
+// Package machine assembles a whole Blue Gene/P-like system: compute
+// chips on a 3-D torus with a global barrier network, I/O nodes running
+// CIOD over collective trees, and a kernel (CNK or the Linux-like FWK) on
+// every compute node. It launches coordinated jobs across the machine and
+// wires each rank's MPI communicator.
+package machine
+
+import (
+	"fmt"
+
+	"bgcnk/internal/barrier"
+	"bgcnk/internal/ciod"
+	"bgcnk/internal/cnk"
+	"bgcnk/internal/collective"
+	"bgcnk/internal/dcmf"
+	"bgcnk/internal/fs"
+	"bgcnk/internal/fwk"
+	"bgcnk/internal/hw"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/sim"
+	"bgcnk/internal/torus"
+)
+
+// KernelKind selects the compute-node kernel.
+type KernelKind int
+
+// Kernel kinds.
+const (
+	KindCNK KernelKind = iota
+	KindFWK
+)
+
+func (k KernelKind) String() string {
+	if k == KindCNK {
+		return "CNK"
+	}
+	return "FWK"
+}
+
+// Config describes the machine to build.
+type Config struct {
+	Nodes   int
+	Kind    KernelKind
+	MemSize uint64 // DDR per node; default 256MB
+
+	// CNK options.
+	MaxThreadsPerCore int
+	Reproducible      bool
+
+	// FWK options.
+	Seed      uint64
+	Stripped  bool
+	Daemons   []fwk.DaemonSpec // nil = defaults
+	FSLatency sim.Cycles
+
+	// CNsPerION sets the I/O ratio (default: all CNs share one ION).
+	CNsPerION int
+}
+
+// Machine is the assembled system.
+type Machine struct {
+	Eng    *sim.Engine
+	Cfg    Config
+	Chips  []*hw.Chip
+	Torus  *torus.Network
+	Bar    *barrier.Network
+	Coords []torus.Coord
+	Devs   []*dcmf.Device
+
+	Trees   []*collective.Tree
+	IONFS   []*fs.FS
+	Servers []*ciod.Server
+
+	CNKs []*cnk.Kernel
+	FWKs []*fwk.Kernel
+
+	// Comb is the collective combining-tree route (CNK machines only).
+	Comb *collective.Combine
+
+	jobs []doneable
+}
+
+// New builds and boots the machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.CNsPerION <= 0 {
+		cfg.CNsPerION = cfg.Nodes
+	}
+	m := &Machine{Eng: sim.NewEngine(), Cfg: cfg}
+	m.Torus = torus.New(m.Eng, torus.DefaultConfig(torus.Coord{cfg.Nodes, 1, 1}))
+	m.Bar = barrier.New(m.Eng, cfg.Nodes, 0)
+	if cfg.Kind == KindCNK {
+		// The combining tree is driven from user space under CNK only.
+		m.Comb = collective.NewCombine(m.Eng, cfg.Nodes, 0)
+	}
+
+	for n := 0; n < cfg.Nodes; n++ {
+		chip := hw.NewChip(hw.ChipConfig{ID: n, MemSize: cfg.MemSize, Coord: [3]int{n, 0, 0}})
+		m.Chips = append(m.Chips, chip)
+		coord := torus.Coord{n, 0, 0}
+		m.Coords = append(m.Coords, coord)
+		ifc := m.Torus.Attach(chip, coord)
+		n := n
+		m.Devs = append(m.Devs, dcmf.NewDevice(ifc, n, func(rank int) torus.Coord {
+			return m.Coords[rank]
+		}))
+	}
+
+	// One ION (filesystem + CIOD) per CNsPerION compute nodes.
+	for base := 0; base < cfg.Nodes; base += cfg.CNsPerION {
+		var ids []int
+		for n := base; n < base+cfg.CNsPerION && n < cfg.Nodes; n++ {
+			ids = append(ids, n)
+		}
+		tree := collective.NewTree(m.Eng, collective.DefaultConfig(), ids)
+		ionFS := fs.New()
+		ionFS.MustMkdirAll("/gpfs")
+		ionFS.MustMkdirAll("/lib")
+		m.Trees = append(m.Trees, tree)
+		m.IONFS = append(m.IONFS, ionFS)
+		m.Servers = append(m.Servers, ciod.NewServer(m.Eng, tree.ION(), ionFS))
+	}
+
+	for n := 0; n < cfg.Nodes; n++ {
+		chip := m.Chips[n]
+		treeIdx := n / cfg.CNsPerION
+		switch cfg.Kind {
+		case KindCNK:
+			k := cnk.New(m.Eng, chip, cnk.Config{
+				MaxThreadsPerCore: cfg.MaxThreadsPerCore,
+				Reproducible:      cfg.Reproducible,
+				IO:                ciod.NewClient(m.Trees[treeIdx].CN(n)),
+			})
+			if err := k.Boot(); err != nil {
+				return nil, fmt.Errorf("machine: node %d: %v", n, err)
+			}
+			m.CNKs = append(m.CNKs, k)
+		case KindFWK:
+			k := fwk.New(m.Eng, chip, fwk.Config{
+				Seed:      cfg.Seed + uint64(n)*7919,
+				Stripped:  cfg.Stripped,
+				Daemons:   cfg.Daemons,
+				FS:        m.IONFS[treeIdx], // NFS-mounted shared fs
+				FSLatency: cfg.FSLatency,
+			})
+			if err := k.Boot(); err != nil {
+				return nil, fmt.Errorf("machine: node %d: %v", n, err)
+			}
+			m.FWKs = append(m.FWKs, k)
+		}
+	}
+	return m, nil
+}
+
+// KernelName reports which kernel runs on the compute nodes.
+func (m *Machine) KernelName() string { return m.Cfg.Kind.String() }
+
+// Env is what a running application rank sees besides its kernel Context.
+type Env struct {
+	Rank int
+	Size int
+	Node int
+	MPI  *dcmf.Comm
+	Dev  *dcmf.Device
+	M    *Machine
+}
+
+// App is a machine-level application: one instance per rank.
+type App func(ctx kernel.Context, env *Env)
+
+type doneable interface{ Done() bool }
+
+// Launch starts app as one process per node (SMP mode: rank == node)
+// without driving the simulation; callers that need to stop at an exact
+// cycle (the bringup scan harness) drive the engine themselves.
+func (m *Machine) Launch(app App, params kernel.JobParams) error {
+	for n := 0; n < m.Cfg.Nodes; n++ {
+		n := n
+		main := func(ctx kernel.Context, local int) {
+			env := &Env{
+				Rank: n, Size: m.Cfg.Nodes, Node: n,
+				Dev: m.Devs[n], M: m,
+			}
+			if local == 0 {
+				env.MPI = dcmf.NewComm(m.Devs[n], m.Cfg.Nodes, m.Bar)
+				env.MPI.Comb = m.Comb
+			} else {
+				env.Rank = -1 // extra local ranks are not MPI-visible
+			}
+			app(ctx, env)
+		}
+		switch m.Cfg.Kind {
+		case KindCNK:
+			job, err := m.CNKs[n].Launch(cnk.JobSpec{Params: params, Main: main})
+			if err != nil {
+				return err
+			}
+			m.jobs = append(m.jobs, job)
+		case KindFWK:
+			job, err := m.FWKs[n].Launch(fwk.JobSpec{Params: params, Main: main})
+			if err != nil {
+				return err
+			}
+			m.jobs = append(m.jobs, job)
+		}
+	}
+	return nil
+}
+
+// Run launches app and drives the simulation until every rank exits (or
+// the cycle limit).
+func (m *Machine) Run(app App, params kernel.JobParams, limit sim.Cycles) error {
+	if err := m.Launch(app, params); err != nil {
+		return err
+	}
+	if limit == 0 {
+		limit = sim.FromSeconds(300)
+	}
+	deadline := m.Eng.Now() + limit
+	for m.Eng.Pending() > 0 && m.Eng.Now() < deadline {
+		m.Eng.Run(deadline)
+		all := true
+		for _, j := range m.jobs {
+			if !j.Done() {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+	}
+	for i, j := range m.jobs {
+		if !j.Done() {
+			return fmt.Errorf("machine: node %d job did not finish within %v", i, limit)
+		}
+	}
+	return nil
+}
+
+// JobsDone reports whether every launched job has exited.
+func (m *Machine) JobsDone() bool {
+	for _, j := range m.jobs {
+		if !j.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Shutdown tears down the simulation's coroutines.
+func (m *Machine) Shutdown() { m.Eng.Shutdown() }
+
+// HeapBase returns a usable scratch virtual address for rank's process
+// (above the guard page and libc scratch area).
+func (m *Machine) HeapBase(ctx kernel.Context) hw.VAddr {
+	switch m.Cfg.Kind {
+	case KindCNK:
+		p := m.CNKs[m.nodeOf(ctx)].Proc(ctx.PID())
+		return p.Layout.HeapBase + hw.VAddr(64<<10)
+	default:
+		p := m.FWKs[m.nodeOf(ctx)].Proc(ctx.PID())
+		return p.HeapBase + hw.VAddr(64<<10)
+	}
+}
+
+func (m *Machine) nodeOf(ctx kernel.Context) int {
+	// Context threads know their core; cores know their chip.
+	type hasCore interface{ HWCore() *hw.Core }
+	return ctx.(hasCore).HWCore().Chip.ID
+}

@@ -1,0 +1,445 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bgcnk/internal/hw"
+)
+
+func defaultCfg(procs int) PartitionConfig {
+	return PartitionConfig{
+		DDRBytes:  2 << 30,
+		Procs:     procs,
+		TextBytes: 3 << 20,
+		DataBytes: 9 << 20,
+		ShmBytes:  16 << 20,
+	}
+}
+
+func TestPartitionSMPMode(t *testing.T) {
+	nl, err := Partition(defaultCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Procs) != 1 {
+		t.Fatalf("procs = %d", len(nl.Procs))
+	}
+	p := &nl.Procs[0]
+	if p.Text.VBase != VTextBase {
+		t.Fatalf("text at %#x", uint64(p.Text.VBase))
+	}
+	if p.Text.Covered < p.Text.Req || p.Data.Covered < p.Data.Req {
+		t.Fatal("regions must cover their requests")
+	}
+	if p.HeapBase >= p.StackTop {
+		t.Fatal("heap must be below stack top")
+	}
+	if nl.Shm.VBase != VShmBase {
+		t.Fatalf("shm at %#x", uint64(nl.Shm.VBase))
+	}
+}
+
+func TestPartitionVNModeEvenDivision(t *testing.T) {
+	nl, err := Partition(defaultCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Procs) != 4 {
+		t.Fatalf("procs = %d", len(nl.Procs))
+	}
+	h0 := nl.Procs[0].HeapStack.Covered
+	for i := 1; i < 4; i++ {
+		// Paper VII-B: memory is divided evenly among the tasks.
+		if diff := int64(nl.Procs[i].HeapStack.Covered) - int64(h0); diff < -int64(Page1MBytes) || diff > int64(Page1MBytes) {
+			t.Fatalf("uneven heap division: %d vs %d", nl.Procs[i].HeapStack.Covered, h0)
+		}
+	}
+	// All procs share the same shm region, at the same VA and PA.
+	for i := range nl.Procs {
+		if nl.Procs[i].Shm != &nl.Shm {
+			t.Fatal("shm must be shared")
+		}
+	}
+}
+
+const Page1MBytes = uint64(hw.Page1M)
+
+func TestPartitionInvalidProcs(t *testing.T) {
+	cfg := defaultCfg(3)
+	if _, err := Partition(cfg); err == nil {
+		t.Fatal("3 procs/node must be rejected")
+	}
+}
+
+func TestPartitionTLBBudget(t *testing.T) {
+	for _, procs := range []int{1, 2, 4} {
+		nl, err := Partition(defaultCfg(procs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := nl.EntriesPerProc(); n > 60 {
+			t.Fatalf("procs=%d: %d entries exceeds TLB budget", procs, n)
+		}
+	}
+}
+
+func TestPartitionEntriesFitRealTLB(t *testing.T) {
+	nl, err := Partition(defaultCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tlb hw.TLB
+	for _, e := range nl.Procs[0].TLBEntries(1) {
+		tlb.InsertPinned(e)
+	}
+	// Every address in every region must translate without a miss.
+	p := &nl.Procs[0]
+	probes := []hw.VAddr{
+		p.Text.VBase, p.Text.VBase + hw.VAddr(p.Text.Req-1),
+		p.Data.VBase, p.HeapBase, p.StackTop - 1,
+		nl.Shm.VBase, nl.Shm.VBase + hw.VAddr(nl.Shm.Req-1),
+	}
+	for _, va := range probes {
+		if _, _, ok := tlb.Lookup(1, va); !ok {
+			t.Fatalf("static map misses at %#x", uint64(va))
+		}
+	}
+	if tlb.Misses != 0 {
+		t.Fatalf("static map took %d misses", tlb.Misses)
+	}
+}
+
+func TestPartitionTranslationConsistent(t *testing.T) {
+	nl, err := Partition(defaultCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &nl.Procs[1]
+	pa, perm, ok := p.Translate(p.HeapBase + 12345)
+	if !ok {
+		t.Fatal("heap address must translate")
+	}
+	if !perm.Has(hw.PermRW) {
+		t.Fatal("heap must be RW")
+	}
+	if pa != p.HeapStack.PBase+hw.PAddr(p.HeapBase+12345-p.HeapStack.VBase) {
+		t.Fatal("translation arithmetic wrong")
+	}
+	if _, _, ok := p.Translate(0x100); ok {
+		t.Fatal("unmapped low address must not translate")
+	}
+}
+
+func TestPartitionProcIsolation(t *testing.T) {
+	nl, err := Partition(defaultCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same virtual text address maps to different physical addresses per
+	// process; shm maps to the same physical address.
+	pa0, _, _ := nl.Procs[0].Translate(VTextBase)
+	pa1, _, _ := nl.Procs[1].Translate(VTextBase)
+	if pa0 == pa1 {
+		t.Fatal("text must be private per process")
+	}
+	s0, _, _ := nl.Procs[0].Translate(VShmBase)
+	s1, _, _ := nl.Procs[1].Translate(VShmBase)
+	if s0 != s1 {
+		t.Fatal("shm must be shared")
+	}
+}
+
+func TestPartitionPhysRangesContiguous(t *testing.T) {
+	nl, err := Partition(defaultCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &nl.Procs[0]
+	// Any buffer inside one region is a single physically contiguous
+	// range — the property DCMF's single-descriptor DMA needs.
+	prs, ok := p.PhysRanges(p.HeapBase+4096, 8<<20)
+	if !ok {
+		t.Fatal("heap buffer must resolve")
+	}
+	if len(prs) != 1 {
+		t.Fatalf("heap buffer resolved to %d ranges, want 1", len(prs))
+	}
+}
+
+func TestPartitionTilesAligned(t *testing.T) {
+	nl, err := Partition(defaultCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range nl.Procs {
+		for _, r := range p.Regions() {
+			var covered uint64
+			for _, tl := range r.Tiles {
+				u := uint64(tl.Size)
+				if uint64(tl.V)%u != 0 || uint64(tl.P)%u != 0 {
+					t.Fatalf("tile %v/%#x not aligned to %v", tl.V, uint64(tl.P), tl.Size)
+				}
+				covered += u
+			}
+			if covered != r.Covered {
+				t.Fatalf("region %s: tiles cover %d of %d", r.Name, covered, r.Covered)
+			}
+		}
+	}
+}
+
+func TestPartitionWasteAccounting(t *testing.T) {
+	cfg := defaultCfg(1)
+	cfg.TextBytes = 1<<20 + 1 // forces a second 1MB tile: ~1MB waste
+	nl, err := Partition(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Procs[0].Text.Waste() != uint64(hw.Page1M)-1 {
+		t.Fatalf("text waste = %d", nl.Procs[0].Text.Waste())
+	}
+	if nl.TotalWaste() < nl.Procs[0].Text.Waste() {
+		t.Fatal("node waste must include text waste")
+	}
+}
+
+func TestPartitionPropertyNoPhysOverlap(t *testing.T) {
+	f := func(text, data, shm uint32, procsSel uint8) bool {
+		cfg := PartitionConfig{
+			DDRBytes:  2 << 30,
+			Procs:     []int{1, 2, 4}[int(procsSel)%3],
+			TextBytes: uint64(text%64+1) << 20,
+			DataBytes: uint64(data % (64 << 20)),
+			ShmBytes:  uint64(shm % (64 << 20)),
+		}
+		nl, err := Partition(cfg)
+		if err != nil {
+			return true // infeasible configs may fail; they must not mis-partition
+		}
+		type span struct{ lo, hi uint64 }
+		var spans []span
+		add := func(r *Region) {
+			spans = append(spans, span{uint64(r.PBase), uint64(r.PBase) + r.Covered})
+		}
+		add(&nl.Shm)
+		for i := range nl.Procs {
+			p := &nl.Procs[i]
+			add(&p.Text)
+			add(&p.Data)
+			add(&p.HeapStack)
+		}
+		for i := range spans {
+			if spans[i].lo < KernelPhysReserve || spans[i].hi > cfg.DDRBytes {
+				return false
+			}
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMmapAllocFree(t *testing.T) {
+	m := NewMmapTracker(0x1000000, 0x2000000, 4096)
+	a, err := m.Alloc(10000, hw.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Alloc(4096, hw.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < a+hw.VAddr(hw.AlignUp(10000, 4096)) {
+		t.Fatal("allocations overlap")
+	}
+	m.Free(a, 10000)
+	c, err := m.Alloc(8192, hw.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatalf("freed space not reused: got %#x want %#x", uint64(c), uint64(a))
+	}
+}
+
+func TestMmapCoalesceOnFree(t *testing.T) {
+	m := NewMmapTracker(0, 1<<20, 4096)
+	a, _ := m.Alloc(4096, hw.PermRW)
+	b, _ := m.Alloc(4096, hw.PermRW)
+	c, _ := m.Alloc(4096, hw.PermRW)
+	_ = a
+	_ = c
+	if n := len(m.Allocated()); n != 1 {
+		t.Fatalf("adjacent same-perm allocations should coalesce: %d ranges", n)
+	}
+	m.Free(b, 4096)
+	if n := len(m.Allocated()); n != 2 {
+		t.Fatalf("free should split: %d ranges", n)
+	}
+}
+
+func TestMmapFixed(t *testing.T) {
+	m := NewMmapTracker(0x10000, 0x100000, 4096)
+	if err := m.AllocFixed(0x20000, 8192, hw.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllocFixed(0x21000, 4096, hw.PermRW); err == nil {
+		t.Fatal("overlapping fixed mapping must fail")
+	}
+	if err := m.AllocFixed(0x0, 4096, hw.PermRW); err == nil {
+		t.Fatal("out-of-arena fixed mapping must fail")
+	}
+}
+
+func TestMmapProtectSplits(t *testing.T) {
+	m := NewMmapTracker(0, 1<<20, 4096)
+	a, _ := m.Alloc(3*4096, hw.PermRW)
+	if err := m.Protect(a+4096, 4096, hw.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	rs := m.Allocated()
+	if len(rs) != 3 {
+		t.Fatalf("protect should split into 3, got %d", len(rs))
+	}
+	if rs[1].Perms != hw.PermRead {
+		t.Fatal("middle range perms wrong")
+	}
+	// Restoring perms re-coalesces.
+	if err := m.Protect(a+4096, 4096, hw.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Allocated()) != 1 {
+		t.Fatal("restore should re-coalesce")
+	}
+}
+
+func TestMmapProtectHoleFails(t *testing.T) {
+	m := NewMmapTracker(0, 1<<20, 4096)
+	a, _ := m.Alloc(4096, hw.PermRW)
+	if err := m.Protect(a, 3*4096, hw.PermRead); err == nil {
+		t.Fatal("mprotect across a hole must fail")
+	}
+}
+
+func TestMmapExhaustion(t *testing.T) {
+	m := NewMmapTracker(0, 16*4096, 4096)
+	if _, err := m.Alloc(17*4096, hw.PermRW); err == nil {
+		t.Fatal("oversized alloc must fail")
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := m.Alloc(4096, hw.PermRW); err != nil {
+			t.Fatalf("alloc %d failed: %v", i, err)
+		}
+	}
+	if _, err := m.Alloc(4096, hw.PermRW); err == nil {
+		t.Fatal("arena exhausted; alloc must fail")
+	}
+}
+
+func TestMmapPropertyAllocationsDisjoint(t *testing.T) {
+	m := NewMmapTracker(0, 8<<20, 4096)
+	var live []MmapRange
+	f := func(op uint8, size uint16) bool {
+		if op%3 == 0 && len(live) > 0 {
+			r := live[0]
+			live = live[1:]
+			m.Free(r.VA, r.Size)
+			return true
+		}
+		sz := uint64(size%64+1) * 4096
+		va, err := m.Alloc(sz, hw.PermRW)
+		if err != nil {
+			return true
+		}
+		for _, r := range live {
+			if va < r.End() && r.VA < va+hw.VAddr(sz) {
+				return false
+			}
+		}
+		live = append(live, MmapRange{VA: va, Size: sz})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrkGrowAndQuery(t *testing.T) {
+	b := NewBrk(0x1000, 0x8000)
+	if cur, ok := b.Set(0); !ok || cur != 0x1000 {
+		t.Fatal("query must return current break")
+	}
+	old, ok := b.Grow(0x2000)
+	if !ok || old != 0x1000 || b.Cur != 0x3000 {
+		t.Fatalf("grow: old=%#x cur=%#x", uint64(old), uint64(b.Cur))
+	}
+	if _, ok := b.Set(0x9000); ok {
+		t.Fatal("break beyond limit must fail")
+	}
+	if b.Cur != 0x3000 {
+		t.Fatal("failed set must not move break")
+	}
+}
+
+func TestPersistCreateAndReopen(t *testing.T) {
+	p := NewPersistRegistry(0x1000000, 0x2000000)
+	r1, created, err := p.Open("checkpoint", 1<<20, 100)
+	if err != nil || !created {
+		t.Fatalf("create: %v created=%v", err, created)
+	}
+	r2, created, err := p.Open("checkpoint", 1<<20, 100)
+	if err != nil || created {
+		t.Fatalf("reopen: %v created=%v", err, created)
+	}
+	// The virtual address used by the first job is preserved (paper IV-D).
+	if r1.VA != r2.VA || r1.PA != r2.PA {
+		t.Fatal("reopen must preserve addresses")
+	}
+	// Reopen without knowing the size also works (size 0 = existing).
+	r3, _, err := p.Open("checkpoint", 0, 100)
+	if err != nil || r3.VA != r1.VA {
+		t.Fatal("size-0 reopen failed")
+	}
+}
+
+func TestPersistPrivileges(t *testing.T) {
+	p := NewPersistRegistry(0, 1<<20)
+	p.Open("mine", 4096, 100)
+	if _, _, err := p.Open("mine", 4096, 200); err == nil {
+		t.Fatal("wrong uid must be rejected")
+	}
+	if err := p.Remove("mine", 200); err == nil {
+		t.Fatal("wrong uid must not remove")
+	}
+	if err := p.Remove("mine", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Open("mine", 0, 100); err == nil {
+		t.Fatal("removed region must not reopen")
+	}
+}
+
+func TestPersistSizeMismatch(t *testing.T) {
+	p := NewPersistRegistry(0, 1<<20)
+	p.Open("r", 8192, 1)
+	if _, _, err := p.Open("r", 4096, 1); err == nil {
+		t.Fatal("size mismatch must fail")
+	}
+}
+
+func TestPersistExhaustion(t *testing.T) {
+	p := NewPersistRegistry(0, 8192)
+	if _, _, err := p.Open("a", 8192, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Open("b", 4096, 1); err == nil {
+		t.Fatal("window exhausted; create must fail")
+	}
+}

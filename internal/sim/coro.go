@@ -1,0 +1,201 @@
+package sim
+
+// WakeReason tells a parked coroutine why it resumed.
+type WakeReason int
+
+const (
+	// WakeTimeout means the park's deadline expired.
+	WakeTimeout WakeReason = iota
+	// WakeSignal means another simulation actor woke the coroutine
+	// explicitly (interrupt, futex wake, message arrival, ...).
+	WakeSignal
+)
+
+func (r WakeReason) String() string {
+	if r == WakeTimeout {
+		return "timeout"
+	}
+	return "signal"
+}
+
+// coroKilled is the sentinel panic value used to unwind a coroutine during
+// Engine.Shutdown.
+type coroKilled struct{}
+
+type resumeMsg struct {
+	reason WakeReason
+	kill   bool
+}
+
+// Coro is a cooperative simulated thread of execution. A coroutine runs on
+// its own goroutine, but the engine guarantees only one simulation
+// goroutine (event callback or coroutine) executes at a time: every resume
+// flows through the event queue and every yield hands control back to the
+// engine synchronously.
+//
+// Coro methods must only be called from simulation context.
+type Coro struct {
+	eng    *Engine
+	name   string
+	resume chan resumeMsg
+	yield  chan struct{}
+
+	parked  bool   // currently parked awaiting resume
+	wakeGen uint64 // invalidates in-flight timeout events after a signal wake
+	pending bool   // a signal arrived while the coroutine was running
+	done    bool
+	dead    bool
+}
+
+// Go starts fn as a new coroutine named name. The coroutine begins running
+// at the current cycle, after already-queued events at this cycle.
+func (e *Engine) Go(name string, fn func(c *Coro)) *Coro {
+	c := &Coro{
+		eng:    e,
+		name:   name,
+		resume: make(chan resumeMsg),
+		yield:  make(chan struct{}),
+	}
+	e.coros = append(e.coros, c)
+	go func() {
+		msg := <-c.resume // initial dispatch
+		if !msg.kill {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(coroKilled); !ok {
+							panic(r)
+						}
+					}
+				}()
+				fn(c)
+			}()
+		}
+		c.done = true
+		c.yield <- struct{}{}
+	}()
+	c.parked = true
+	e.After(0, func() { c.dispatch(resumeMsg{reason: WakeSignal}) })
+	return c
+}
+
+// Name returns the coroutine's debug name.
+func (c *Coro) Name() string { return c.name }
+
+// Done reports whether the coroutine's function has returned.
+func (c *Coro) Done() bool { return c.done }
+
+// Engine returns the engine this coroutine runs on.
+func (c *Coro) Engine() *Engine { return c.eng }
+
+// Now returns the current simulation time.
+func (c *Coro) Now() Cycles { return c.eng.Now() }
+
+// dispatch hands control to the coroutine and blocks until it yields or
+// finishes. Must run on the engine goroutine (inside an event).
+func (c *Coro) dispatch(msg resumeMsg) {
+	if c.done || c.dead {
+		return
+	}
+	c.parked = false
+	c.resume <- msg
+	<-c.yield
+}
+
+// park yields control to the engine and blocks until resumed. Returns the
+// resume message.
+func (c *Coro) park() resumeMsg {
+	c.parked = true
+	c.yield <- struct{}{}
+	msg := <-c.resume
+	if msg.kill {
+		panic(coroKilled{})
+	}
+	return msg
+}
+
+// Sleep advances this coroutine's time by d cycles. Other simulation
+// activity proceeds during the sleep. Signals (Wake) arriving during the
+// sleep are absorbed: every blocking construct in the simulator rechecks
+// its state after waking, so a swallowed signal cannot lose information —
+// it only means the state it advertised is already visible.
+func (c *Coro) Sleep(d Cycles) {
+	deadline := c.eng.Now() + d
+	for {
+		now := c.eng.Now()
+		if now >= deadline {
+			return
+		}
+		c.pending = false // absorb any signal posted while running
+		if c.Park(deadline-now) == WakeTimeout {
+			return
+		}
+	}
+}
+
+// Park blocks the coroutine until either an explicit Wake (WakeSignal) or
+// the timeout elapses (WakeTimeout). A timeout of Forever (or greater)
+// means no deadline. If a signal was posted with Wake while the coroutine
+// was still running, Park consumes it and returns immediately.
+func (c *Coro) Park(timeout Cycles) WakeReason {
+	if c.pending {
+		c.pending = false
+		return WakeSignal
+	}
+	gen := c.bumpGen()
+	if timeout < Forever {
+		c.eng.At(c.eng.Now()+timeout, func() { c.timeoutWake(gen) })
+	}
+	return c.park().reason
+}
+
+// Wake delivers a signal to the coroutine. If it is parked it resumes (via
+// the event queue, preserving deterministic ordering) with WakeSignal; if
+// it is currently running, the signal is remembered and consumed by its
+// next Park. Waking a finished coroutine is a no-op. Multiple wakes before
+// the coroutine parks collapse into one.
+func (c *Coro) Wake() {
+	if c.done || c.dead {
+		return
+	}
+	if !c.parked {
+		c.pending = true
+		return
+	}
+	gen := c.bumpGen() // invalidate any in-flight timeout
+	c.eng.After(0, func() {
+		if c.wakeGen != gen || !c.parked {
+			return // superseded
+		}
+		c.dispatch(resumeMsg{reason: WakeSignal})
+	})
+}
+
+func (c *Coro) bumpGen() uint64 {
+	c.wakeGen++
+	return c.wakeGen
+}
+
+func (c *Coro) timeoutWake(gen uint64) {
+	if c.wakeGen != gen || !c.parked {
+		return // stale: the coroutine was woken or re-parked since
+	}
+	c.dispatch(resumeMsg{reason: WakeTimeout})
+}
+
+// kill unwinds the coroutine if it is still parked. Called only from
+// Engine.Shutdown (outside simulation context, with the engine idle).
+func (c *Coro) kill() {
+	if c.done || c.dead {
+		return
+	}
+	if !c.parked {
+		// A non-parked, non-done coroutine outside simulation context
+		// cannot exist; nothing to do but mark it dead.
+		c.dead = true
+		return
+	}
+	c.dead = true
+	c.resume <- resumeMsg{kill: true}
+	<-c.yield
+}

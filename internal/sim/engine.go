@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a single scheduled callback.
+type event struct {
+	at  Cycles
+	seq uint64 // tie-breaker: FIFO among events at the same cycle
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator. All state mutation in
+// a simulation happens either inside event callbacks or inside coroutines
+// resumed by event callbacks; the engine guarantees that exactly one of
+// these runs at a time and that their order depends only on (time, schedule
+// order), never on the Go runtime scheduler.
+type Engine struct {
+	now    Cycles
+	seq    uint64
+	events eventHeap
+	coros  []*Coro // all coroutines ever started, for shutdown
+	trace  *Trace
+
+	// inCoroutine guards against event-queue mutation racing a running
+	// coroutine: engine methods may only be called from simulation context.
+	stepping bool
+}
+
+// NewEngine returns an engine at cycle 0 with an empty event queue.
+func NewEngine() *Engine {
+	return &Engine{trace: NewTrace()}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Cycles { return e.now }
+
+// Trace returns the engine's trace recorder.
+func (e *Engine) Trace() *Trace { return e.trace }
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past is an
+// error in simulation logic and panics.
+func (e *Engine) At(t Cycles, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Cycles, fn func()) { e.At(e.now+d, fn) }
+
+// Step runs the next pending event. It reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	if ev.at < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.at
+	e.stepping = true
+	ev.fn()
+	e.stepping = false
+	return true
+}
+
+// Run executes events until the queue is empty or the next event lies
+// beyond the limit. It returns the number of events executed.
+func (e *Engine) Run(limit Cycles) int {
+	n := 0
+	for len(e.events) > 0 && e.events[0].at <= limit {
+		e.Step()
+		n++
+	}
+	return n
+}
+
+// RunUntilIdle executes events until no events remain. Coroutines parked
+// without a pending wake are not counted as work; a deadlocked simulation
+// simply stops. It returns the number of events executed.
+func (e *Engine) RunUntilIdle() int {
+	n := 0
+	for e.Step() {
+		n++
+	}
+	return n
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Shutdown kills every live coroutine so their goroutines exit. The engine
+// must not be used afterwards. It is safe to call on an idle engine only
+// (never from inside an event or coroutine).
+func (e *Engine) Shutdown() {
+	for _, c := range e.coros {
+		c.kill()
+	}
+	e.coros = nil
+	e.events = nil
+}

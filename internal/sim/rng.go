@@ -1,0 +1,59 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random generator (splitmix64).
+// Every stochastic element of the machine model (daemon phase offsets,
+// manufacturing variability, electrical noise) draws from an RNG seeded
+// from the run configuration, so a run is a pure function of its seeds.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Fork derives an independent child generator labelled by id. Forking lets
+// subsystems own private streams whose draws do not perturb each other.
+func (r *RNG) Fork(id uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (id * 0x9e3779b97f4a7c15) ^ 0xd1b54a32d192ed03)
+}
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Cycles returns a duration in [0, n).
+func (r *RNG) Cycles(n Cycles) Cycles {
+	if n == 0 {
+		return 0
+	}
+	return Cycles(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns an approximately standard-normal value using the sum
+// of twelve uniforms (Irwin–Hall); adequate for jitter modelling and free
+// of math package state.
+func (r *RNG) NormFloat64() float64 {
+	s := 0.0
+	for i := 0; i < 12; i++ {
+		s += r.Float64()
+	}
+	return s - 6
+}

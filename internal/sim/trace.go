@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// TraceEntry is one recorded simulation event: an instant, a source tag
+// (e.g. "core0", "torus"), and a detail string.
+type TraceEntry struct {
+	At     Cycles
+	Tag    string
+	Detail string
+}
+
+func (t TraceEntry) String() string {
+	return fmt.Sprintf("[%12d] %-10s %s", uint64(t.At), t.Tag, t.Detail)
+}
+
+// Trace records the externally visible behaviour of a run, both as a
+// bounded ring of entries (for inspection) and as a running FNV-1a hash of
+// every entry (for cycle-reproducibility proofs: two runs are
+// cycle-identical iff their trace hashes match). Recording can be disabled
+// entirely for performance-sensitive runs; the hash is always maintained
+// while enabled.
+type Trace struct {
+	enabled bool
+	keepAll bool
+	hash    uint64
+	count   uint64
+	ring    []TraceEntry
+	ringCap int
+}
+
+// NewTrace returns an enabled trace with a 4096-entry ring.
+func NewTrace() *Trace {
+	return &Trace{enabled: true, ring: nil, ringCap: 4096, hash: 14695981039346656037}
+}
+
+// SetEnabled turns recording on or off.
+func (tr *Trace) SetEnabled(on bool) { tr.enabled = on }
+
+// Enabled reports whether the trace records events.
+func (tr *Trace) Enabled() bool { return tr.enabled }
+
+// KeepAll makes the trace retain every entry instead of a bounded ring.
+func (tr *Trace) KeepAll() { tr.keepAll = true }
+
+// Record appends an entry at time at.
+func (tr *Trace) Record(at Cycles, tag, detail string) {
+	if !tr.enabled {
+		return
+	}
+	tr.count++
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", uint64(at), tag, detail)
+	tr.hash = tr.hash*1099511628211 ^ h.Sum64()
+	e := TraceEntry{At: at, Tag: tag, Detail: detail}
+	if tr.keepAll {
+		tr.ring = append(tr.ring, e)
+		return
+	}
+	if len(tr.ring) < tr.ringCap {
+		tr.ring = append(tr.ring, e)
+	} else {
+		copy(tr.ring, tr.ring[1:])
+		tr.ring[len(tr.ring)-1] = e
+	}
+}
+
+// Hash returns the running hash over all recorded entries. Two runs with
+// equal hashes executed the same tagged events at the same cycles in the
+// same order.
+func (tr *Trace) Hash() uint64 { return tr.hash }
+
+// Count returns the number of entries recorded (including ones evicted
+// from the ring).
+func (tr *Trace) Count() uint64 { return tr.count }
+
+// Entries returns the retained entries, oldest first.
+func (tr *Trace) Entries() []TraceEntry { return tr.ring }
