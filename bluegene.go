@@ -23,6 +23,7 @@ import (
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/machine"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
 )
 
 // KernelKind selects the compute-node kernel.
@@ -87,6 +88,36 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 
 // App is a per-rank application entry point.
 type App = machine.App
+
+// CounterSnapshot is a point-in-time copy of one node's (or a merged
+// machine's) UPC performance counters; subtract two with CounterDelta to
+// attribute counts to a region of a run.
+type CounterSnapshot = upc.Snapshot
+
+// TraceCategory selects which tracepoint families a machine records; see
+// Machine.EnableTracepoints.
+type TraceCategory = upc.Category
+
+// Tracepoint categories.
+const (
+	TraceSched   = upc.CatSched
+	TraceIRQ     = upc.CatIRQ
+	TraceSyscall = upc.CatSyscall
+	TraceMem     = upc.CatMem
+	TraceNet     = upc.CatNet
+	TraceIO      = upc.CatIO
+	TraceAll     = upc.CatAll
+)
+
+// CounterDelta returns after minus before, elementwise.
+func CounterDelta(before, after CounterSnapshot) CounterSnapshot {
+	return upc.Delta(before, after)
+}
+
+// MergeCounters sums snapshots elementwise (e.g. across nodes).
+func MergeCounters(snaps ...CounterSnapshot) CounterSnapshot {
+	return upc.Merge(snaps...)
+}
 
 // ExperimentResult is one regenerated paper artifact.
 type ExperimentResult = experiments.Result

@@ -27,7 +27,13 @@ func main() {
 	workload := flag.String("workload", "fwq", "fwq | allreduce | linpack | stream")
 	samples := flag.Int("samples", 2000, "FWQ samples / allreduce iterations")
 	seed := flag.Uint64("seed", 1, "FWK daemon-phase seed")
+	counters := flag.String("counters", "", "print UPC counters after the run: text or json")
 	flag.Parse()
+
+	if *counters != "" && *counters != "text" && *counters != "json" {
+		fmt.Fprintf(os.Stderr, "-counters must be text or json, got %q\n", *counters)
+		os.Exit(2)
+	}
 
 	kind := bluegene.CNK
 	if *kernelName == "fwk" {
@@ -90,6 +96,16 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
+	}
+
+	if *counters != "" {
+		snap := m.MergedCounters()
+		fmt.Printf("\nUPC counters (all %d nodes merged):\n", *nodes)
+		if *counters == "json" {
+			fmt.Println(snap.JSON())
+		} else {
+			fmt.Print(snap.Text())
+		}
 	}
 }
 

@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"bgcnk/internal/bringup"
 	"bgcnk/internal/hw"
@@ -32,7 +34,9 @@ func workload(ctx kernel.Context, env *machine.Env) {
 	ctx.Compute(300_000)
 }
 
-func main() {
+// Run executes the bringup walkthrough, writing its narrative to w.
+// quick coarsens the waveform scan step so tests finish fast.
+func Run(quick bool, w io.Writer) error {
 	probe := bringup.Probe{Nodes: 2, Workload: workload}
 	stop := sim.Cycles(1_200_000)
 
@@ -41,9 +45,9 @@ func main() {
 	// unless reruns are bit-identical).
 	ok, snaps, err := probe.VerifyReproducible(stop, 3)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("3 reruns to cycle %d: identical=%v (trace hash %016x)\n", uint64(stop), ok, snaps[0].Trace)
+	fmt.Fprintf(w, "3 reruns to cycle %d: identical=%v (trace hash %016x)\n", uint64(stop), ok, snaps[0].Trace)
 
 	// Step 2: a marginal chip. The fault depends on manufacturing
 	// variance AND ambient conditions, so some runs never see it.
@@ -58,39 +62,49 @@ func main() {
 		}
 	}
 	trigger, fires := fault.TriggerCycle()
-	fmt.Printf("marginal path: fires=%v at cycle %d under these conditions\n", fires, uint64(trigger))
+	fmt.Fprintf(w, "marginal path: fires=%v at cycle %d under these conditions\n", fires, uint64(trigger))
 	for seed := uint64(1); seed <= 6; seed++ {
 		f := *fault
 		f.RunSeed = seed
 		_, hits := f.TriggerCycle()
-		fmt.Printf("  conditions %d: bug manifests=%v\n", seed, hits)
+		fmt.Fprintf(w, "  conditions %d: bug manifests=%v\n", seed, hits)
 	}
 
 	// Step 3: waveforms. One fresh reproducible run per sample point.
 	step := sim.Cycles(50_000)
+	if quick {
+		step = 200_000
+	}
 	ref, err := probe.CaptureWaveform(200_000, stop, step)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	faulty := probe
 	faulty.Fault = fault
 	sus, err := faulty.CaptureWaveform(200_000, stop, step)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("captured %d scan points per waveform (each a full rerun + destructive scan)\n", len(ref.Snaps))
+	fmt.Fprintf(w, "captured %d scan points per waveform (each a full rerun + destructive scan)\n", len(ref.Snaps))
 
 	// Step 4: localize.
 	at, chip, found := bringup.FindDivergence(ref, sus)
-	fmt.Printf("divergence: found=%v at cycle %d on chip %d (fault fired at %d)\n",
+	fmt.Fprintf(w, "divergence: found=%v at cycle %d on chip %d (fault fired at %d)\n",
 		found, uint64(at), chip, uint64(trigger))
 	if found && at >= trigger && at <= trigger+step {
-		fmt.Println("=> localized to within one scan step of the actual flipped latch")
+		fmt.Fprintln(w, "=> localized to within one scan step of the actual flipped latch")
 	}
 
 	// Step 5: the economics that motivated all of this.
-	fmt.Println()
-	fmt.Println(bringup.DescribeVHDLBoot("CNK", 74_000))
-	fmt.Println(bringup.DescribeVHDLBoot("Linux (full)", 15_000_000))
-	fmt.Println(bringup.DescribeVHDLBoot("Linux (stripped)", 2_500_000))
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, bringup.DescribeVHDLBoot("CNK", 74_000))
+	fmt.Fprintln(w, bringup.DescribeVHDLBoot("Linux (full)", 15_000_000))
+	fmt.Fprintln(w, bringup.DescribeVHDLBoot("Linux (stripped)", 2_500_000))
+	return nil
+}
+
+func main() {
+	if err := Run(false, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"bgcnk"
 	"bgcnk/internal/apps"
@@ -17,17 +19,15 @@ import (
 	"bgcnk/internal/sim"
 )
 
-const samplesPerCore = 4000
-
-func runFWQ(kind bluegene.KernelKind) [][]sim.Cycles {
+func runFWQ(kind bluegene.KernelKind, samples int) ([][]sim.Cycles, error) {
 	m, err := bluegene.NewMachine(bluegene.MachineConfig{Nodes: 1, Kernel: kind, Seed: 1})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	defer m.Shutdown()
 	perCore := make([][]sim.Cycles, hw.CoresPerChip)
 	cfg := apps.DefaultFWQ()
-	cfg.Samples = samplesPerCore
+	cfg.Samples = samples
 	err = m.Run(func(ctx bluegene.Context, env *bluegene.Env) {
 		lib, _ := nptl.Init(ctx)
 		base := m.HeapBase(ctx) + hw.VAddr(1<<20)
@@ -45,9 +45,9 @@ func runFWQ(kind bluegene.KernelKind) [][]sim.Cycles {
 		}
 	}, bluegene.JobParams{}, 0)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	return perCore
+	return perCore, nil
 }
 
 // sparkline renders the sample series the way Figs 5-7 plot them.
@@ -79,19 +79,35 @@ func sparkline(samples []sim.Cycles, width int) string {
 	return string(out)
 }
 
-func main() {
-	fmt.Printf("FWQ: %d samples/core of ~%d-cycle quanta (paper Figs 5-7)\n\n",
-		samplesPerCore, uint64(apps.FWQExpectedMin))
+// Run executes the example, writing the per-core statistics and
+// sparklines to w. quick shrinks the sample count for tests.
+func Run(quick bool, w io.Writer) error {
+	samples := 4000
+	if quick {
+		samples = 500
+	}
+	fmt.Fprintf(w, "FWQ: %d samples/core of ~%d-cycle quanta (paper Figs 5-7)\n\n",
+		samples, uint64(apps.FWQExpectedMin))
 	for _, kind := range []bluegene.KernelKind{bluegene.FWK, bluegene.CNK} {
-		perCore := runFWQ(kind)
-		fmt.Printf("--- %v ---\n", kind)
+		perCore, err := runFWQ(kind, samples)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "--- %v ---\n", kind)
 		for core, samples := range perCore {
 			st := noise.Analyze(samples)
-			fmt.Printf("core %d: min=%d max=%d maxvar=%.4f%%\n  |%s|\n",
+			fmt.Fprintf(w, "core %d: min=%d max=%d maxvar=%.4f%%\n  |%s|\n",
 				core, uint64(st.Min), uint64(st.Max), st.MaxVariationPct,
 				sparkline(samples, 64))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Println("paper: Linux varied >5% on cores 0, 2, 3; CNK stayed <0.006%.")
+	fmt.Fprintln(w, "paper: Linux varied >5% on cores 0, 2, 3; CNK stayed <0.006%.")
+	return nil
+}
+
+func main() {
+	if err := Run(false, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

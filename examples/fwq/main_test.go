@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the example end to end in quick mode and checks it
+// produces a report without erroring.
+func TestRunSmoke(t *testing.T) {
+	var buf strings.Builder
+	if err := Run(true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("example produced no output")
+	}
+	t.Log("\n" + buf.String())
+}

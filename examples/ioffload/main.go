@@ -7,21 +7,29 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"bgcnk"
 	"bgcnk/internal/fs"
 	"bgcnk/internal/kernel"
 )
 
-func main() {
-	const nodes = 8
+// Run executes the example, writing its report to w. quick shrinks the
+// machine to 4 nodes.
+func Run(quick bool, w io.Writer) error {
+	nodes := 8
+	if quick {
+		nodes = 4
+	}
 	m, err := bluegene.NewMachine(bluegene.MachineConfig{Nodes: nodes, Kernel: bluegene.CNK})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer m.Shutdown()
 
+	var appErr error
 	params := bluegene.JobParams{ProcsPerNode: 4} // VN mode
 	err = m.Run(func(ctx bluegene.Context, env *bluegene.Env) {
 		base := m.HeapBase(ctx)
@@ -31,16 +39,19 @@ func main() {
 		pathVA := base
 		ctx.Store(pathVA, append([]byte(dir), 0))
 		if _, errno := ctx.Syscall(kernel.SysMkdir, uint64(pathVA), 0755); errno != kernel.OK {
-			log.Fatalf("mkdir: %v", errno)
+			appErr = fmt.Errorf("mkdir: %v", errno)
+			return
 		}
 		if _, errno := ctx.Syscall(kernel.SysChdir, uint64(pathVA)); errno != kernel.OK {
-			log.Fatalf("chdir: %v", errno)
+			appErr = fmt.Errorf("chdir: %v", errno)
+			return
 		}
 		relVA := base + 2048
 		ctx.Store(relVA, append([]byte("trace.out"), 0))
 		fd, errno := ctx.Syscall(kernel.SysOpen, uint64(relVA), kernel.OCreat|kernel.ORdwr, 0644)
 		if errno != kernel.OK {
-			log.Fatalf("open: %v", errno)
+			appErr = fmt.Errorf("open: %v", errno)
+			return
 		}
 		// Chunked writes exercise the proxy's seek-offset mirroring.
 		bufVA := base + 4096
@@ -48,26 +59,37 @@ func main() {
 			line := fmt.Sprintf("node %d pid %d chunk %d\n", env.Node, ctx.PID(), chunk)
 			ctx.Store(bufVA, []byte(line))
 			if n, errno := ctx.Syscall(kernel.SysWrite, fd, uint64(bufVA), uint64(len(line))); errno != kernel.OK || n != uint64(len(line)) {
-				log.Fatalf("write: %v %d", errno, n)
+				appErr = fmt.Errorf("write: %v %d", errno, n)
+				return
 			}
 		}
 		ctx.Syscall(kernel.SysClose, fd)
 	}, params, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	if appErr != nil {
+		return appErr
 	}
 
 	srv := m.Servers[0]
-	fmt.Printf("%d compute processes performed POSIX I/O\n", nodes*4)
-	fmt.Printf("filesystem clients the storage system saw: 1 (the I/O node)\n")
-	fmt.Printf("CIOD: %d ioproxies created, %d live after job exit, %d calls served\n",
+	fmt.Fprintf(w, "%d compute processes performed POSIX I/O\n", nodes*4)
+	fmt.Fprintf(w, "filesystem clients the storage system saw: 1 (the I/O node)\n")
+	fmt.Fprintf(w, "CIOD: %d ioproxies created, %d live after job exit, %d calls served\n",
 		srv.Proxies, srv.LiveProxies(), srv.Calls)
 
 	names, _ := m.IONFS[0].Readdir("/", "/gpfs", fs.Root)
-	fmt.Printf("directories on the I/O node filesystem: %d\n", len(names))
+	fmt.Fprintf(w, "directories on the I/O node filesystem: %d\n", len(names))
 	data, errno := m.IONFS[0].ReadFile("/"+"gpfs/node00-pid001/trace.out", fs.Root)
 	if errno == kernel.OK {
-		fmt.Printf("sample file contents:\n%s", data)
+		fmt.Fprintf(w, "sample file contents:\n%s", data)
 	}
-	fmt.Println("paper: function shipping gives \"up to two orders of magnitude reduction in filesystem clients\"")
+	fmt.Fprintln(w, "paper: function shipping gives \"up to two orders of magnitude reduction in filesystem clients\"")
+	return nil
+}
+
+func main() {
+	if err := Run(false, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -5,30 +5,35 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"bgcnk"
 	"bgcnk/internal/fs"
-	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/nptl"
 )
 
-func main() {
+// Run executes the example, writing its report to w. quick is accepted
+// for symmetry with the other examples (this one is already small).
+func Run(quick bool, w io.Writer) error {
 	m, err := bluegene.NewMachine(bluegene.MachineConfig{
 		Nodes: 2, Kernel: bluegene.CNK, MaxThreadsPerCore: 1,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer m.Shutdown()
-	fmt.Println("booted 2 nodes under CNK")
+	fmt.Fprintln(w, "booted 2 nodes under CNK")
 
+	var appErr error
 	err = m.Run(func(ctx bluegene.Context, env *bluegene.Env) {
 		// glibc/NPTL startup: uname check, set_tid_address, malloc.
 		lib, err := nptl.Init(ctx)
 		if err != nil {
-			log.Fatal(err)
+			appErr = err
+			return
 		}
 
 		// Compute on all four cores with pthreads.
@@ -46,7 +51,8 @@ func main() {
 		for i := 0; i < 3; i++ {
 			pt, errno := lib.PthreadCreate(ctx, work)
 			if errno != kernel.OK {
-				log.Fatalf("pthread_create: %v", errno)
+				appErr = fmt.Errorf("pthread_create: %v", errno)
+				return
 			}
 			pts = append(pts, pt)
 		}
@@ -66,26 +72,36 @@ func main() {
 			ctx.Store(pathVA, append([]byte("/gpfs/result.txt"), 0))
 			fd, errno := ctx.Syscall(kernel.SysOpen, uint64(pathVA), kernel.OCreat|kernel.OWronly, 0644)
 			if errno != kernel.OK {
-				log.Fatalf("open: %v", errno)
+				appErr = fmt.Errorf("open: %v", errno)
+				return
 			}
 			msg := fmt.Sprintf("threads finished across the machine: %.0f\n", total)
 			bufVA, _ := lib.Malloc(ctx, 256)
 			ctx.Store(bufVA, []byte(msg))
 			ctx.Syscall(kernel.SysWrite, fd, uint64(bufVA), uint64(len(msg)))
 			ctx.Syscall(kernel.SysClose, fd)
-			fmt.Printf("rank 0 at cycle %d: wrote %q\n", ctx.Now(), msg[:len(msg)-1])
+			fmt.Fprintf(w, "rank 0 at cycle %d: wrote %q\n", ctx.Now(), msg[:len(msg)-1])
 		}
 	}, bluegene.JobParams{}, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	if appErr != nil {
+		return appErr
 	}
 
 	data, errno := m.IONFS[0].ReadFile("/gpfs/result.txt", fs.Root)
 	if errno != kernel.OK {
-		log.Fatalf("ION fs: %v", errno)
+		return fmt.Errorf("ION fs: %v", errno)
 	}
-	fmt.Printf("I/O node filesystem now holds: %s", data)
-	fmt.Printf("CIOD served %d function-shipped calls for %d proxies\n",
+	fmt.Fprintf(w, "I/O node filesystem now holds: %s", data)
+	fmt.Fprintf(w, "CIOD served %d function-shipped calls for %d proxies\n",
 		m.Servers[0].Calls, m.Servers[0].Proxies)
-	_ = hw.CoresPerChip
+	return nil
+}
+
+func main() {
+	if err := Run(false, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

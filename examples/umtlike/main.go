@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"bgcnk"
 	"bgcnk/internal/fs"
@@ -32,12 +34,14 @@ func physicsLib(name string, needed ...string) *loader.Image {
 	}
 }
 
-func main() {
+// Run executes the example, writing its report to w. quick is accepted
+// for symmetry with the other examples (one node already).
+func Run(quick bool, w io.Writer) error {
 	m, err := bluegene.NewMachine(bluegene.MachineConfig{
 		Nodes: 1, Kernel: bluegene.CNK, MaxThreadsPerCore: 1,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer m.Shutdown()
 
@@ -50,10 +54,11 @@ func main() {
 	}
 	for _, im := range libs {
 		if errno := m.IONFS[0].WriteFile("/lib/"+im.Name, im.Marshal(), 0755, fs.Root); errno != kernel.OK {
-			log.Fatal(errno)
+			return fmt.Errorf("install %s: %v", im.Name, errno)
 		}
 	}
 
+	var appErr error
 	err = m.Run(func(ctx bluegene.Context, env *bluegene.Env) {
 		lib, _ := nptl.Init(ctx)
 		ld := loader.NewLinker()
@@ -64,26 +69,30 @@ func main() {
 		start := ctx.Now()
 		for _, pkg := range []string{"/lib/libtransport.so", "/lib/libopacity.so"} {
 			if _, err := ld.Dlopen(ctx, pkg); err != nil {
-				log.Fatal(err)
+				appErr = err
+				return
 			}
 		}
-		fmt.Printf("dlopen closure loaded %d libraries (%d bytes) in %.1fus\n",
+		fmt.Fprintf(w, "dlopen closure loaded %d libraries (%d bytes) in %.1fus\n",
 			len(ld.Loaded()), ld.BytesRead, (ctx.Now() - start).Micros())
 
 		// OpenMP-style phase: a sweep on every core.
 		var pts []*nptl.PThread
 		sweep := func(c kernel.Context) {
 			if err := ld.Call(c, "libtransport.so.sweep"); err != nil {
-				log.Fatal(err)
+				appErr = err
+				return
 			}
 			if err := ld.Call(c, "libopacity.so.sweep"); err != nil {
-				log.Fatal(err)
+				appErr = err
+				return
 			}
 		}
 		for i := 0; i < 3; i++ {
 			pt, errno := lib.PthreadCreate(ctx, sweep)
 			if errno != kernel.OK {
-				log.Fatalf("pthread_create: %v", errno)
+				appErr = fmt.Errorf("pthread_create: %v", errno)
+				return
 			}
 			pts = append(pts, pt)
 		}
@@ -91,17 +100,24 @@ func main() {
 		for _, pt := range pts {
 			lib.PthreadJoin(ctx, pt)
 		}
-		fmt.Printf("threaded sweeps finished at cycle %d\n", ctx.Now())
+		fmt.Fprintf(w, "threaded sweeps finished at cycle %d\n", ctx.Now())
 
 		// The lightweight-philosophy consequence (paper IV-B2): nothing
 		// stops the application from scribbling on library text.
 		ll, _ := ld.Dlopen(ctx, "/lib/libopacity.so")
 		va, _ := ll.SymAddr("libopacity.so.init")
 		if errno := ctx.Store(va, []byte{0xDE, 0xAD}); errno == kernel.OK {
-			fmt.Println("note: wrote over library text without a fault — CNK does not honour page permissions on dynamic libraries")
+			fmt.Fprintln(w, "note: wrote over library text without a fault — CNK does not honour page permissions on dynamic libraries")
 		}
 	}, bluegene.JobParams{}, 0)
 	if err != nil {
+		return err
+	}
+	return appErr
+}
+
+func main() {
+	if err := Run(false, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

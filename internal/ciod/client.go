@@ -5,6 +5,7 @@ import (
 	"bgcnk/internal/fs"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
 )
 
 // costMarshal is the CN-side cost of marshalling a request and posting it
@@ -19,6 +20,7 @@ const costMarshal = sim.Cycles(300)
 type Client struct {
 	ep      *collective.Endpoint
 	nextTag uint32
+	upc     *upc.UPC
 	Calls   uint64
 }
 
@@ -27,10 +29,18 @@ func NewClient(ep *collective.Endpoint) *Client {
 	return &Client{ep: ep}
 }
 
+// AttachUPC routes the function-ship round-trip counter to the compute
+// node's UPC unit. Counting here (not in the kernel's ship path) covers
+// every caller — shipIO and mmap copy-in alike — exactly once.
+func (cl *Client) AttachUPC(u *upc.UPC) { cl.upc = u }
+
 // Call implements Transport.
 func (cl *Client) Call(c *sim.Coro, req *Request) *Reply {
 	cl.nextTag++
 	tag := cl.nextTag
+	if cl.upc != nil {
+		cl.upc.Inc(upc.ChipScope, upc.FunctionShip)
+	}
 	c.Sleep(costMarshal)
 	cl.ep.Send(-1, tag, MarshalRequest(req))
 	msg := cl.ep.RecvTag(c, tag)

@@ -109,13 +109,18 @@ type dec struct {
 }
 
 func (d *dec) need(n int) []byte {
-	if d.err != nil || len(d.b) < n {
-		d.err = fmt.Errorf("ciod: truncated message")
-		return make([]byte, n)
+	if d.err == nil && n >= 0 && len(d.b) >= n {
+		v := d.b[:n]
+		d.b = d.b[n:]
+		return v
 	}
-	v := d.b[:n]
-	d.b = d.b[n:]
-	return v
+	d.err = fmt.Errorf("ciod: truncated message")
+	// Never allocate the claimed length: a corrupt header can claim 4GB.
+	// Fixed-width readers need at most 8 zero bytes to limp along.
+	if n > 8 || n < 0 {
+		n = 8
+	}
+	return make([]byte, n)
 }
 func (d *dec) u8() uint8   { return d.need(1)[0] }
 func (d *dec) u16() uint16 { return binary.BigEndian.Uint16(d.need(2)) }

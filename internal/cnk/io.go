@@ -4,6 +4,7 @@ import (
 	"bgcnk/internal/ciod"
 	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
+	"bgcnk/internal/upc"
 )
 
 // maxPath bounds path strings copied from user space.
@@ -116,6 +117,7 @@ func (k *Kernel) shipIO(t *kernel.Thread, p *Proc, num kernel.Sys, args []uint64
 		return 0, errno
 	}
 
+	k.Chip.UPC.Trace.Emit(upc.EvShipCall, t.CoreID(), k.Eng.Now(), uint64(num))
 	rep := k.cfg.IO.Call(t.Coro(), req)
 	if rep.Errno != kernel.OK {
 		return rep.Ret, rep.Errno

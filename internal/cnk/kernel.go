@@ -16,6 +16,7 @@ import (
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/mem"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
 )
 
 // Boot cost model (in instructions ≈ cycles). CNK's boot is tiny: this is
@@ -160,11 +161,15 @@ func (k *Kernel) NextInterrupt(t *kernel.Thread) sim.Cycles {
 // ServiceInterrupt implements kernel.OS.
 func (k *Kernel) ServiceInterrupt(t *kernel.Thread) {
 	cs := k.cores[t.CoreID()]
+	u := k.Chip.UPC
 	for len(cs.pendingIPIs) > 0 {
 		fn := cs.pendingIPIs[0]
 		cs.pendingIPIs = cs.pendingIPIs[1:]
 		cs.core.Interrupts++
 		cs.core.IPIs++
+		u.Inc(cs.core.ID, upc.Interrupt)
+		u.Inc(cs.core.ID, upc.IPI)
+		u.Trace.Emit(upc.EvIPI, cs.core.ID, k.Eng.Now(), 0)
 		t.Coro().Sleep(ipiCost)
 		fn(t)
 	}

@@ -7,8 +7,10 @@ package collective
 
 import (
 	"fmt"
+	"sort"
 
 	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
 )
 
 // PacketBytes is the collective network packet payload size.
@@ -57,6 +59,10 @@ type Endpoint struct {
 	waiters   []waiter
 	busyUntil sim.Cycles // outgoing link serialization
 
+	// upc is the owning node's counter unit; nil until AttachUPC (the
+	// tree is built before the chips are wired to it).
+	upc *upc.UPC
+
 	Sent, Received uint64
 	BytesSent      uint64
 }
@@ -93,6 +99,9 @@ func (t *Tree) CN(id int) *Endpoint {
 // ID returns the endpoint's node ID (-1 for the ION).
 func (e *Endpoint) ID() int { return e.id }
 
+// AttachUPC routes this endpoint's traffic counters to a chip's UPC unit.
+func (e *Endpoint) AttachUPC(u *upc.UPC) { e.upc = u }
+
 // sendCost computes serialization cycles for n bytes.
 func (e *Endpoint) sendCost(n int) sim.Cycles {
 	packets := (n + PacketBytes - 1) / PacketBytes
@@ -123,6 +132,15 @@ func (e *Endpoint) Send(to int, tag uint32, data []byte) {
 	msg := Message{From: e.id, Tag: tag, Data: append([]byte(nil), data...)}
 	e.Sent++
 	e.BytesSent += uint64(len(data))
+	if e.upc != nil {
+		packets := (len(data) + PacketBytes - 1) / PacketBytes
+		if packets == 0 {
+			packets = 1
+		}
+		e.upc.Add(upc.ChipScope, upc.CollPacket, uint64(packets))
+		e.upc.Add(upc.ChipScope, upc.CollBytes, uint64(len(data)))
+		e.upc.Trace.Emit(upc.EvCollSend, upc.ChipScope, e.tree.eng.Now(), uint64(len(data)))
+	}
 	e.tree.eng.At(arrive, func() { dst.deliver(msg) })
 }
 
@@ -201,7 +219,19 @@ type Combine struct {
 	sum     float64
 	results map[int]float64
 
+	// upcs routes per-participant combine counts to each node's UPC unit.
+	upcs map[int]*upc.UPC
+
 	Ops uint64
+}
+
+// AttachUPC routes participant id's combine-operation counter to a chip's
+// UPC unit.
+func (cb *Combine) AttachUPC(id int, u *upc.UPC) {
+	if cb.upcs == nil {
+		cb.upcs = make(map[int]*upc.UPC)
+	}
+	cb.upcs[id] = u
 }
 
 // NewCombine builds an n-participant combining route. latency 0 selects a
@@ -222,6 +252,9 @@ func (cb *Combine) Allreduce(c *sim.Coro, id int, v float64) float64 {
 	}
 	cb.entered[id] = c
 	cb.sum += v
+	if u := cb.upcs[id]; u != nil {
+		u.Inc(upc.ChipScope, upc.CombineOp)
+	}
 	if len(cb.entered) == cb.n {
 		sum := cb.sum
 		waiters := cb.entered
@@ -233,9 +266,15 @@ func (cb *Combine) Allreduce(c *sim.Coro, id int, v float64) float64 {
 		}
 		me := c
 		cb.eng.At(cb.eng.Now()+cb.latency, func() {
-			for wid, w := range waiters {
-				if w != me {
-					_ = wid
+			// Wake in participant order: map iteration order would permute
+			// same-cycle wakeups and break cycle reproducibility.
+			ids := make([]int, 0, len(waiters))
+			for wid := range waiters {
+				ids = append(ids, wid)
+			}
+			sort.Ints(ids)
+			for _, wid := range ids {
+				if w := waiters[wid]; w != me {
 					w.Wake()
 				}
 			}

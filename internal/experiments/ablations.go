@@ -8,6 +8,7 @@ import (
 	"bgcnk/internal/machine"
 	"bgcnk/internal/noise"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
 )
 
 // RunAblations isolates the design choices DESIGN.md calls out, one
@@ -91,39 +92,50 @@ func ablateL3Mapping(opt Options, r *Result) error {
 	return nil
 }
 
-// ablateNoiseSources decomposes FWK jitter by daemon population.
+// ablateNoiseSources decomposes FWK jitter by daemon population, citing
+// the UPC counter deltas so the decomposition is measured, not inferred
+// from the sample distributions.
 func ablateNoiseSources(opt Options, r *Result) error {
 	samples := 4000
 	if opt.Quick {
 		samples = 1200
 	}
-	run := func(daemons []fwk.DaemonSpec) (noise.Stats, error) {
+	run := func(daemons []fwk.DaemonSpec) (noise.Stats, upc.Snapshot, error) {
 		m, err := machine.New(machine.Config{Nodes: 1, Kind: machine.KindFWK, Seed: 7, Daemons: daemons})
 		if err != nil {
-			return noise.Stats{}, err
+			return noise.Stats{}, upc.Snapshot{}, err
 		}
 		defer m.Shutdown()
 		var out []sim.Cycles
 		cfg := apps.DefaultFWQ()
 		cfg.Samples = samples
+		before := m.CounterSnapshot(0)
 		err = m.Run(func(ctx kernel.Context, env *machine.Env) {
 			out = apps.FWQ(ctx, m.HeapBase(ctx)+hw.VAddr(1<<20), cfg)
 		}, kernel.JobParams{}, sim.FromSeconds(600))
 		if err != nil {
-			return noise.Stats{}, err
+			return noise.Stats{}, upc.Snapshot{}, err
 		}
-		return noise.Analyze(out), nil
+		return noise.Analyze(out), upc.Delta(before, m.CounterSnapshot(0)), nil
 	}
-	ticksOnly, err := run([]fwk.DaemonSpec{})
+	ticksOnly, ticksCtr, err := run([]fwk.DaemonSpec{})
 	if err != nil {
 		return err
 	}
-	full, err := run(nil) // nil = default population
+	full, fullCtr, err := run(nil) // nil = default population
 	if err != nil {
 		return err
 	}
 	r.addf("noise ablation: ticks-only maxvar=%.4f%%, ticks+daemons maxvar=%.4f%%",
 		ticksOnly.MaxVariationPct, full.MaxVariationPct)
+	r.addf("FWK noise decomposition (UPC counter deltas over the run):")
+	r.addf("  %-14s %12s %12s", "counter", "ticks-only", "full")
+	for _, c := range []upc.Counter{
+		upc.TimerTick, upc.DaemonRun, upc.Preemption, upc.TLBMiss, upc.PageFault,
+	} {
+		r.addf("  %-14s %12d %12d", c, ticksCtr.Total(c), fullCtr.Total(c))
+	}
+	r.addf("  tlb_refills    %12d %12d", ticksCtr.TLBRefills(), fullCtr.TLBRefills())
 	if ticksOnly.MaxVariationPct >= 1.0 {
 		r.Pass = false
 		r.notef("tick ISR alone should stay below 1%%")
@@ -131,6 +143,15 @@ func ablateNoiseSources(opt Options, r *Result) error {
 	if full.MaxVariationPct <= ticksOnly.MaxVariationPct {
 		r.Pass = false
 		r.notef("daemons must add noise over bare ticks")
+	}
+	if ticksCtr.Total(upc.DaemonRun) != 0 {
+		r.Pass = false
+		r.notef("ticks-only run recorded %d daemon dispatches", ticksCtr.Total(upc.DaemonRun))
+	}
+	if ticksCtr.Total(upc.TimerTick) == 0 || fullCtr.Total(upc.DaemonRun) == 0 {
+		r.Pass = false
+		r.notef("noise sources missing from the counters (ticks=%d daemons=%d)",
+			ticksCtr.Total(upc.TimerTick), fullCtr.Total(upc.DaemonRun))
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/machine"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
 )
 
 // LinkMBs is the torus per-link bandwidth ceiling (425 MB/s at 2
@@ -16,13 +17,15 @@ type fig8Point struct {
 	MBs   float64
 }
 
-// fig8Sweep measures near-neighbour rendezvous throughput for one kernel.
-func fig8Sweep(kind machine.KernelKind, sizes []uint64, reps int) ([]fig8Point, error) {
+// fig8Sweep measures near-neighbour rendezvous throughput for one kernel,
+// returning the bandwidth curve and the machine-wide UPC counter delta.
+func fig8Sweep(kind machine.KernelKind, sizes []uint64, reps int) ([]fig8Point, upc.Snapshot, error) {
 	m, err := machine.New(machine.Config{Nodes: 2, Kind: kind, Seed: 3, MemSize: 512 << 20})
 	if err != nil {
-		return nil, err
+		return nil, upc.Snapshot{}, err
 	}
 	defer m.Shutdown()
+	before := m.MergedCounters()
 	var points []fig8Point
 	err = m.Run(func(ctx kernel.Context, env *machine.Env) {
 		base := m.HeapBase(ctx)
@@ -46,9 +49,9 @@ func fig8Sweep(kind machine.KernelKind, sizes []uint64, reps int) ([]fig8Point, 
 		mpi.Barrier(ctx)
 	}, kernel.JobParams{}, sim.FromSeconds(600))
 	if err != nil {
-		return nil, err
+		return nil, upc.Snapshot{}, err
 	}
-	return points, nil
+	return points, upc.Delta(before, m.MergedCounters()), nil
 }
 
 // RunFig8 regenerates Fig 8: throughput of the rendezvous protocol for a
@@ -64,11 +67,11 @@ func RunFig8(opt Options) (*Result, error) {
 		sizes = sizes[:5]
 		reps = 2
 	}
-	cnk, err := fig8Sweep(machine.KindCNK, sizes, reps)
+	cnk, cnkCtr, err := fig8Sweep(machine.KindCNK, sizes, reps)
 	if err != nil {
 		return nil, err
 	}
-	fwk, err := fig8Sweep(machine.KindFWK, sizes, reps)
+	fwk, fwkCtr, err := fig8Sweep(machine.KindFWK, sizes, reps)
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +89,19 @@ func RunFig8(opt Options) (*Result, error) {
 			r.notef("FWK outperformed CNK at %d bytes", cnk[i].Bytes)
 		}
 	}
+	// UPC counter table: the descriptor-count mechanism behind the gap.
+	// CNK's static map yields one DMA descriptor per contiguous transfer;
+	// the FWK's scattered 4KB pages need one per page.
+	r.addf("UPC counters over the sweep (both nodes merged):")
+	r.addf("  %-16s %12s %12s", "counter", "CNK", "FWK")
+	for _, c := range []upc.Counter{upc.DMADescriptor, upc.TorusBytes, upc.TorusPacket, upc.SyscallTotal} {
+		r.addf("  %-16s %12d %12d", c, cnkCtr.Total(c), fwkCtr.Total(c))
+	}
+	if fwkCtr.Total(upc.DMADescriptor) <= cnkCtr.Total(upc.DMADescriptor) {
+		r.Pass = false
+		r.notef("FWK must inject more DMA descriptors than CNK for the same bytes (per-page scatter)")
+	}
+
 	// Shape: monotone non-decreasing for CNK and saturation at the top.
 	last := cnk[len(cnk)-1]
 	if last.MBs < 0.85*LinkMBs {

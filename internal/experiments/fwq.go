@@ -10,13 +10,16 @@ import (
 	"bgcnk/internal/noise"
 	"bgcnk/internal/nptl"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
 )
 
-// FWQOutcome is the raw material of Figs 5–7: per-core sample vectors.
+// FWQOutcome is the raw material of Figs 5–7: per-core sample vectors plus
+// the UPC counter delta attributed to the run (boot excluded).
 type FWQOutcome struct {
-	Kernel  string
-	PerCore [][]sim.Cycles
-	Stats   []noise.Stats
+	Kernel   string
+	PerCore  [][]sim.Cycles
+	Stats    []noise.Stats
+	Counters upc.Snapshot
 }
 
 // fwqOn runs the paper's FWQ configuration (a thread per core) on the
@@ -32,6 +35,7 @@ func fwqOn(kind machine.KernelKind, samples int, seed uint64) (*FWQOutcome, erro
 	cfg := apps.DefaultFWQ()
 	cfg.Samples = samples
 	perCore := make([][]sim.Cycles, hw.CoresPerChip)
+	before := m.CounterSnapshot(0)
 	err = m.Run(func(ctx kernel.Context, env *machine.Env) {
 		lib, err := nptl.Init(ctx)
 		if err != nil {
@@ -58,7 +62,11 @@ func fwqOn(kind machine.KernelKind, samples int, seed uint64) (*FWQOutcome, erro
 	if err != nil {
 		return nil, err
 	}
-	out := &FWQOutcome{Kernel: kind.String(), PerCore: perCore}
+	out := &FWQOutcome{
+		Kernel:   kind.String(),
+		PerCore:  perCore,
+		Counters: upc.Delta(before, m.CounterSnapshot(0)),
+	}
 	for _, s := range perCore {
 		out.Stats = append(out.Stats, noise.Analyze(s))
 	}
@@ -130,6 +138,29 @@ func RunFWQ(opt Options) (*Result, error) {
 	} else {
 		r.addf("Fig 7 zoom: CNK samples bit-identical")
 	}
+	// UPC counter table: the mechanisms behind the two noise profiles,
+	// measured rather than inferred from the distributions.
+	r.addf("UPC counters over the run (all cores summed):")
+	r.addf("  %-14s %12s %12s", "counter", "Linux", "CNK")
+	for _, c := range []upc.Counter{
+		upc.TimerTick, upc.Preemption, upc.DaemonRun, upc.ContextSwitch,
+		upc.Interrupt, upc.TLBMiss, upc.PageFault, upc.SyscallTotal,
+	} {
+		r.addf("  %-14s %12d %12d", c, lnx.Counters.Total(c), cnk.Counters.Total(c))
+	}
+	for _, c := range []upc.Counter{upc.TimerTick, upc.Preemption, upc.DaemonRun, upc.PageFault} {
+		if n := cnk.Counters.Total(c); n != 0 {
+			r.Pass = false
+			r.notef("CNK %v count %d != 0 (tickless, non-preemptive, statically mapped)", c, n)
+		}
+	}
+	for _, c := range []upc.Counter{upc.TimerTick, upc.Preemption, upc.DaemonRun} {
+		if lnx.Counters.Total(c) == 0 {
+			r.Pass = false
+			r.notef("Linux %v count is 0; the noise sources should be visible in the counters", c)
+		}
+	}
+
 	amp := noise.BSPAmplification(lnx.PerCore[0], 1024, 200, 7)
 	r.addf("Petrini amplification of the Linux core-0 distribution at 1024 nodes: %.3fx", amp)
 	cnkAmp := noise.BSPAmplification(cnk.PerCore[0], 1024, 200, 7)

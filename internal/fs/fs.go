@@ -251,6 +251,9 @@ func (f *FS) Rmdir(cwd, path string, c Cred) kernel.Errno {
 	if n.typ != TypeDir {
 		return kernel.ENOTDIR
 	}
+	if parent == nil {
+		return kernel.EBUSY // rmdir("/")
+	}
 	if len(n.entries) != 0 {
 		return kernel.ENOTEMPTY
 	}
@@ -297,8 +300,17 @@ func (f *FS) Rename(cwd, oldpath, newpath string, c Cred) kernel.Errno {
 	if errno != kernel.OK {
 		return errno
 	}
+	if op == nil || np == nil {
+		return kernel.EBUSY // renaming the root, or over the root
+	}
 	if !access(op, c, 2) || !access(np, c, 2) {
 		return kernel.EACCES
+	}
+	if nn == on {
+		return kernel.OK // POSIX: rename to self is a no-op
+	}
+	if on.typ == TypeDir && subtreeContains(on, np) {
+		return kernel.EINVAL // moving a directory under itself
 	}
 	if nn != nil {
 		if nn.typ == TypeDir {
@@ -313,9 +325,33 @@ func (f *FS) Rename(cwd, oldpath, newpath string, c Cred) kernel.Errno {
 		}
 	}
 	delete(op.entries, oname)
+	if nn != nil {
+		nn.nlink--
+		if nn.typ == TypeDir {
+			np.nlink--
+		}
+	}
 	np.entries[nname] = on
+	if on.typ == TypeDir && op != np {
+		op.nlink--
+		np.nlink++
+	}
 	op.mtime, np.mtime = f.now(), f.now()
 	return kernel.OK
+}
+
+// subtreeContains reports whether dir's subtree (including dir itself)
+// holds n.
+func subtreeContains(dir, n *inode) bool {
+	if dir == n {
+		return true
+	}
+	for _, c := range dir.entries {
+		if c.typ == TypeDir && subtreeContains(c, n) {
+			return true
+		}
+	}
+	return false
 }
 
 // Symlink creates a symbolic link at path pointing to target.

@@ -1,0 +1,113 @@
+package fs
+
+import (
+	"sort"
+	"testing"
+
+	"bgcnk/internal/kernel"
+)
+
+// FuzzFS drives the filesystem with a byte-coded op program and checks
+// the structural invariants afterwards: the tree stays acyclic, every
+// directory's nlink equals 2 + its subdirectory count, every live file's
+// nlink is positive, and Readdir output is sorted. The program format is
+// triples (op, arg1, arg2); paths come from a small closed alphabet so
+// operations collide often (same-name mkdir/rename/unlink races are the
+// interesting cases).
+func FuzzFS(f *testing.F) {
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{0, 1, 0, 0, 5, 1, 3, 1, 5}) // mkdir, nested mkdir, rename
+	f.Add([]byte{1, 2, 0, 4, 2, 9})          // create, truncate
+	f.Add([]byte{0, 0, 0, 3, 0, 0, 2, 0, 0}) // mkdir, rmdir, unlink
+	f.Add([]byte{5, 0, 0, 5, 0, 1, 3, 1, 0}) // symlink loops
+	f.Add([]byte{0, 1, 0, 3, 1, 16, 6, 1, 1, 7, 1, 2})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		fsys := New()
+		fsys.MustMkdirAll("/gpfs")
+		user := Cred{UID: 1, GID: 1}
+		for i := 0; i+2 < len(prog); i += 3 {
+			op, a, b := prog[i], prog[i+1], prog[i+2]
+			p1, p2 := fuzzPath(a), fuzzPath(b)
+			cred := Root
+			if a&0x80 != 0 {
+				cred = user
+			}
+			switch op % 10 {
+			case 0:
+				fsys.Mkdir("/", p1, 0700|Mode(b)&0077, cred)
+			case 1:
+				fsys.WriteFile(p1, make([]byte, int(b)%128), 0644, cred)
+			case 2:
+				fsys.Unlink("/", p1, cred)
+			case 3:
+				fsys.Rmdir("/", p1, cred)
+			case 4:
+				fsys.Truncate("/", p1, uint64(b)*17, cred)
+			case 5:
+				fsys.Symlink("/", p2, p1, cred)
+			case 6:
+				fsys.Rename("/", p1, p2, cred)
+			case 7:
+				fsys.Chmod("/", p1, Mode(b)&0777, cred)
+			case 8:
+				fsys.Stat("/", p1, cred)
+				fsys.Readlink("/", p1, cred)
+			case 9:
+				names, errno := fsys.Readdir("/", p1, cred)
+				if errno == kernel.OK && !sort.StringsAreSorted(names) {
+					t.Fatalf("Readdir(%q) unsorted: %v", p1, names)
+				}
+			}
+		}
+		checkTree(t, fsys)
+	})
+}
+
+// fuzzPath maps a byte to a path over a tiny component alphabet, depth
+// up to 3, mixing absolute and relative spellings plus dot-dot.
+func fuzzPath(b byte) string {
+	comps := []string{"a", "b", "gpfs", "..", "."}
+	p := "/" + comps[int(b)%len(comps)]
+	if b&0x10 != 0 {
+		p += "/" + comps[int(b>>2)%len(comps)]
+	}
+	if b&0x20 != 0 {
+		p += "/" + comps[int(b>>4)%len(comps)]
+	}
+	if b&0x40 != 0 {
+		p = p[1:] // relative to cwd
+	}
+	return p
+}
+
+// checkTree walks the whole tree and verifies the structural invariants.
+func checkTree(t *testing.T, f *FS) {
+	t.Helper()
+	seen := map[*inode]bool{}
+	var walk func(path string, n *inode)
+	walk = func(path string, n *inode) {
+		if seen[n] {
+			t.Fatalf("inode %d reachable twice (cycle or aliased dir) at %s", n.ino, path)
+		}
+		seen[n] = true
+		if n.typ != TypeDir {
+			if n.nlink == 0 {
+				t.Fatalf("live inode %d at %s has nlink 0", n.ino, path)
+			}
+			return
+		}
+		subdirs := uint32(0)
+		for _, c := range n.entries {
+			if c.typ == TypeDir {
+				subdirs++
+			}
+		}
+		if n.nlink != 2+subdirs {
+			t.Fatalf("dir %s nlink=%d want %d (2 + %d subdirs)", path, n.nlink, 2+subdirs, subdirs)
+		}
+		for name, c := range n.entries {
+			walk(path+"/"+name, c)
+		}
+	}
+	walk("", f.root)
+}

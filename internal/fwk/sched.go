@@ -6,6 +6,7 @@ import (
 	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
 )
 
 // cpu is one core's preemptive scheduler state.
@@ -66,6 +67,9 @@ func (d *daemon) loop(c *sim.Coro) {
 		}
 		c.Sleep(burst)
 		d.cpu.DaemonRuns++
+		u := d.cpu.core.Chip.UPC
+		u.Inc(d.cpu.core.ID, upc.DaemonRun)
+		u.Trace.Emit(upc.EvDaemon, d.cpu.core.ID, c.Now(), uint64(d.spec.Core))
 		d.nextRun = c.Now() + d.spec.Period + d.jitter.Cycles(d.spec.Period/16)
 		d.active = false
 		if t := d.resumeMe; t != nil {
@@ -93,11 +97,19 @@ func (k *Kernel) ServiceInterrupt(t *kernel.Thread) {
 		}
 		c.Ticks++
 		c.core.Interrupts++
+		u := k.Chip.UPC
+		u.Inc(c.core.ID, upc.TimerTick)
+		u.Inc(c.core.ID, upc.Interrupt)
+		u.Trace.Emit(upc.EvTick, c.core.ID, now, uint64(c.Ticks))
 		t.Coro().Sleep(tickISRCost)
 
 		// Dispatch due daemons: the user thread waits while they run.
 		for _, d := range c.daemons {
 			if k.Eng.Now() >= d.nextRun && !d.active {
+				// The user thread is involuntarily descheduled for the
+				// daemon's burst: that is a preemption as FWQ sees it.
+				u.Inc(c.core.ID, upc.Preemption)
+				u.Trace.Emit(upc.EvPreempt, c.core.ID, k.Eng.Now(), uint64(t.TID()))
 				d.active = true
 				d.resumeMe = t
 				d.coro.Wake()
@@ -121,6 +133,10 @@ func (k *Kernel) ServiceInterrupt(t *kernel.Thread) {
 // next ready thread; t blocks until granted again.
 func (c *cpu) rotate(t *kernel.Thread) {
 	c.ContextSwitches++
+	u := c.core.Chip.UPC
+	u.Inc(c.core.ID, upc.ContextSwitch)
+	u.Inc(c.core.ID, upc.Preemption)
+	u.Trace.Emit(upc.EvCtxSwitch, c.core.ID, c.k.Eng.Now(), uint64(t.TID()))
 	next := c.ready[0]
 	c.ready = c.ready[1:]
 	c.ready = append(c.ready, t)
@@ -163,6 +179,9 @@ func (c *cpu) grant() {
 	c.cur = c.ready[0]
 	c.ready = c.ready[1:]
 	c.ContextSwitches++
+	u := c.core.Chip.UPC
+	u.Inc(c.core.ID, upc.ContextSwitch)
+	u.Trace.Emit(upc.EvCtxSwitch, c.core.ID, c.k.Eng.Now(), uint64(c.cur.TID()))
 	c.cur.Coro().Wake()
 }
 
@@ -229,6 +248,8 @@ func (k *Kernel) futexWait(t *kernel.Thread, uaddr hw.VAddr, val uint32, timeout
 	w := &futexWaiter{t: t}
 	k.futexes[key] = append(k.futexes[key], w)
 	c := k.cpus[t.CoreID()]
+	k.Chip.UPC.Inc(c.core.ID, upc.FutexWait)
+	k.Chip.UPC.Trace.Emit(upc.EvFutexWait, c.core.ID, k.Eng.Now(), uint64(uaddr))
 	c.release(t)
 	t.State = kernel.ThreadBlocked
 	deadline := sim.Forever
@@ -270,6 +291,8 @@ func (k *Kernel) futexWait(t *kernel.Thread, uaddr hw.VAddr, val uint32, timeout
 }
 
 func (k *Kernel) futexWake(t *kernel.Thread, uaddr hw.VAddr, n uint32) uint64 {
+	k.Chip.UPC.Inc(t.CoreID(), upc.FutexWake)
+	k.Chip.UPC.Trace.Emit(upc.EvFutexWake, t.CoreID(), k.Eng.Now(), uint64(uaddr))
 	key := futexKey{t.PID(), uaddr}
 	ws := k.futexes[key]
 	woken := uint64(0)

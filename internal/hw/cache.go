@@ -1,6 +1,9 @@
 package hw
 
-import "bgcnk/internal/sim"
+import (
+	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
+)
 
 // Cache geometry and cost constants, approximating Blue Gene/P.
 const (
@@ -109,6 +112,10 @@ type CacheSim struct {
 	// report EvL1Parity (soft-error injection for the recovery tests).
 	parityArm []bool
 
+	// upc routes hit/miss counts to the owning chip's UPC unit; nil for
+	// standalone CacheSims in unit tests.
+	upc *upc.UPC
+
 	L1Hits, L1Misses   []uint64
 	StoreMisses        []uint64
 	L3Hits, L3Misses   uint64
@@ -166,11 +173,15 @@ func (cs *CacheSim) Access(core int, pa PAddr, size uint32, write bool, now sim.
 	if size == 0 {
 		last = first
 	}
+	u := cs.upc
 	for line := first; line <= last; line++ {
 		addr := line * L1LineSize
 		set := &cs.l1[core][line%L1Sets]
 		if set.hit(line) {
 			cs.L1Hits[core]++
+			if u != nil {
+				u.Inc(core, upc.L1Hit)
+			}
 			continue
 		}
 		if write {
@@ -179,21 +190,33 @@ func (cs *CacheSim) Access(core int, pa PAddr, size uint32, write bool, now sim.
 			// installing an L1 line (and without evicting anything). The
 			// store buffer absorbs the downstream latency.
 			cs.StoreMisses[core]++
+			if u != nil {
+				u.Inc(core, upc.StoreMiss)
+			}
 			l3line := addr / L3LineSize
 			cs.l3[cs.l3index(l3line)].access(l3line)
 			cost += CostStoreMiss
 			continue
 		}
 		cs.L1Misses[core]++
+		if u != nil {
+			u.Inc(core, upc.L1Miss)
+		}
 		set.access(line) // allocate on load miss
 		l3line := addr / L3LineSize
 		l3set := &cs.l3[cs.l3index(l3line)]
 		if l3set.access(l3line) {
 			cs.L3Hits++
+			if u != nil {
+				u.Inc(upc.ChipScope, upc.L3Hit)
+			}
 			cost += CostL3Hit
 			continue
 		}
 		cs.L3Misses++
+		if u != nil {
+			u.Inc(upc.ChipScope, upc.L3Miss)
+		}
 		c := sim.Cycles(CostDDR)
 		// DDR refresh: if the access lands in the refresh window it
 		// stalls for the remainder of the window.
@@ -203,6 +226,9 @@ func (cs *CacheSim) Access(core int, pa PAddr, size uint32, write bool, now sim.
 			c += stall
 			cs.RefreshStalls++
 			cs.RefreshStallCycles += stall
+			if u != nil {
+				u.Inc(upc.ChipScope, upc.RefreshStall)
+			}
 		}
 		cost += c
 	}

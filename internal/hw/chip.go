@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 
 	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
 )
 
 // CoresPerChip is the Blue Gene/P core count.
@@ -90,6 +91,11 @@ type Chip struct {
 	Mem   *Memory
 	Cache *CacheSim
 
+	// UPC is the chip's Universal Performance Counter unit: every layer
+	// that charges cycles against this chip also increments a counter
+	// here, so "where did the cycles go" is queryable (paper Section III).
+	UPC *upc.UPC
+
 	// BootSRAM models the on-chip SRAM where cores rendezvous during the
 	// reproducible-reset protocol; its contents survive reset.
 	BootSRAM [4096]byte
@@ -117,9 +123,14 @@ func NewChip(cfg ChipConfig) *Chip {
 		Coord: cfg.Coord,
 		Mem:   NewMemory(cfg.MemSize),
 		Cache: NewCacheSim(CoresPerChip),
+		UPC:   upc.New(),
 	}
+	ch.Mem.upc = ch.UPC
+	ch.Cache.upc = ch.UPC
 	for i := 0; i < CoresPerChip; i++ {
-		ch.Cores = append(ch.Cores, &Core{ID: i, Chip: ch})
+		c := &Core{ID: i, Chip: ch}
+		c.TLB.upc, c.TLB.coreID = ch.UPC, i
+		ch.Cores = append(ch.Cores, c)
 	}
 	for u := range ch.units {
 		ch.units[u] = true
@@ -148,6 +159,7 @@ func (ch *Chip) Reset() {
 	}
 	ch.Cache.reset()
 	ch.Mem.reset()
+	ch.UPC.Reset()
 }
 
 // StateHash digests the architecturally visible chip state: core counters,

@@ -1,6 +1,10 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+
+	"bgcnk/internal/upc"
+)
 
 // memChunk is the sparse-allocation granule for DDR contents.
 const memChunk = 64 << 10
@@ -13,6 +17,10 @@ type Memory struct {
 	size        uint64
 	chunks      map[uint64][]byte
 	selfRefresh bool
+
+	// upc routes access counts to the owning chip's UPC unit; nil for
+	// standalone Memories in unit tests.
+	upc *upc.UPC
 
 	// Access statistics, reset with the chip.
 	Reads  uint64
@@ -46,6 +54,9 @@ func (m *Memory) chunk(idx uint64, create bool) []byte {
 func (m *Memory) Read(pa PAddr, dst []byte) {
 	m.check(pa, len(dst))
 	m.Reads++
+	if m.upc != nil {
+		m.upc.Inc(upc.ChipScope, upc.DDRRead)
+	}
 	off := uint64(pa)
 	for len(dst) > 0 {
 		idx, in := off/memChunk, off%memChunk
@@ -69,6 +80,9 @@ func (m *Memory) Read(pa PAddr, dst []byte) {
 func (m *Memory) Write(pa PAddr, src []byte) {
 	m.check(pa, len(src))
 	m.Writes++
+	if m.upc != nil {
+		m.upc.Inc(upc.ChipScope, upc.DDRWrite)
+	}
 	off := uint64(pa)
 	for len(src) > 0 {
 		idx, in := off/memChunk, off%memChunk

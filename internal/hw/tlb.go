@@ -1,6 +1,10 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+
+	"bgcnk/internal/upc"
+)
 
 // TLBSize is the number of entries in a PPC450-class software-managed TLB.
 const TLBSize = 64
@@ -37,8 +41,31 @@ type TLB struct {
 	entries [TLBSize]TLBEntry
 	victim  int
 
+	// upc/coreID route counter updates to the owning chip's UPC unit;
+	// nil for standalone TLBs in unit tests.
+	upc    *upc.UPC
+	coreID int
+
 	Hits   uint64
 	Misses uint64
+}
+
+// refillCounter maps a hardware page size to its per-size refill counter.
+func refillCounter(s PageSize) upc.Counter {
+	switch s {
+	case Page4K:
+		return upc.TLBRefill4K
+	case Page64K:
+		return upc.TLBRefill64K
+	case Page1M:
+		return upc.TLBRefill1M
+	case Page16M:
+		return upc.TLBRefill16M
+	case Page256M:
+		return upc.TLBRefill256M
+	default:
+		return upc.TLBRefill1G
+	}
 }
 
 // Lookup translates (pid, va). On success it returns the physical address
@@ -48,10 +75,16 @@ func (t *TLB) Lookup(pid uint32, va VAddr) (PAddr, Perm, bool) {
 		e := &t.entries[i]
 		if e.Covers(pid, va) {
 			t.Hits++
+			if t.upc != nil {
+				t.upc.Inc(t.coreID, upc.TLBHit)
+			}
 			return e.Translate(va), e.Perms, true
 		}
 	}
 	t.Misses++
+	if t.upc != nil {
+		t.upc.Inc(t.coreID, upc.TLBMiss)
+	}
 	return 0, 0, false
 }
 
@@ -62,6 +95,9 @@ func (t *TLB) InsertPinned(e TLBEntry) {
 	e.Valid, e.Pinned = true, true
 	if !e.Size.Valid() {
 		panic(fmt.Sprintf("hw: invalid page size %d", e.Size))
+	}
+	if t.upc != nil {
+		t.upc.Inc(t.coreID, refillCounter(e.Size))
 	}
 	for i := range t.entries {
 		if !t.entries[i].Valid {
@@ -79,6 +115,9 @@ func (t *TLB) Insert(e TLBEntry) {
 	e.Pinned = false
 	if !e.Size.Valid() {
 		panic(fmt.Sprintf("hw: invalid page size %d", e.Size))
+	}
+	if t.upc != nil {
+		t.upc.Inc(t.coreID, refillCounter(e.Size))
 	}
 	for i := range t.entries {
 		if !t.entries[i].Valid {

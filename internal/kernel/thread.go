@@ -5,6 +5,7 @@ import (
 
 	"bgcnk/internal/hw"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
 )
 
 // OS is the kernel-side contract Thread executes against. CNK and the FWK
@@ -176,9 +177,22 @@ func (t *Thread) Compute(c sim.Cycles) {
 	}
 }
 
+// countSyscall charges the kernel entry against the chip's UPC unit. It
+// lives here, on the kernel-neutral path, so both CNK and the FWK are
+// counted once per entry with no per-kernel bookkeeping.
+func (t *Thread) countSyscall(num Sys) {
+	if t.core == nil || t.core.Chip == nil {
+		return
+	}
+	u := t.core.Chip.UPC
+	u.Syscall(t.core.ID, int(num))
+	u.Trace.Emit(upc.EvSyscall, t.core.ID, t.coro.Now(), uint64(num))
+}
+
 // Syscall implements Context.
 func (t *Thread) Syscall(num Sys, args ...uint64) (uint64, Errno) {
 	t.Syscalls++
+	t.countSyscall(num)
 	t.coro.Sleep(t.os.SyscallEntryCost())
 	ret, errno := t.os.Syscall(t, num, args)
 	return ret, errno
@@ -187,6 +201,7 @@ func (t *Thread) Syscall(num Sys, args ...uint64) (uint64, Errno) {
 // Clone implements Context.
 func (t *Thread) Clone(args CloneArgs) (uint32, Errno) {
 	t.Syscalls++
+	t.countSyscall(SysClone)
 	t.coro.Sleep(t.os.SyscallEntryCost())
 	return t.os.Clone(t, args)
 }
@@ -199,6 +214,7 @@ func (t *Thread) VtoP(va hw.VAddr, size uint64) ([]PhysRange, Errno) {
 // RegisterSignal implements Context.
 func (t *Thread) RegisterSignal(sig Signal, h SigHandler) Errno {
 	t.Syscalls++
+	t.countSyscall(SysSigaction)
 	t.coro.Sleep(t.os.SyscallEntryCost())
 	return t.os.RegisterSignal(t, sig, h)
 }

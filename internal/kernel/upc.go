@@ -1,0 +1,13 @@
+package kernel
+
+import "bgcnk/internal/upc"
+
+// The UPC per-syscall table must have room for every syscall number.
+// This fails to compile if NumSys outgrows upc.MaxSyscalls.
+var _ [upc.MaxSyscalls - int(NumSys)]struct{}
+
+func init() {
+	// upc cannot import kernel (hw sits between them), so it renders
+	// syscall numbers through this hook.
+	upc.SyscallNamer = func(num int) string { return Sys(num).String() }
+}

@@ -19,6 +19,7 @@ import (
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/torus"
+	"bgcnk/internal/upc"
 )
 
 // KernelKind selects the compute-node kernel.
@@ -99,6 +100,9 @@ func New(cfg Config) (*Machine, error) {
 	for n := 0; n < cfg.Nodes; n++ {
 		chip := hw.NewChip(hw.ChipConfig{ID: n, MemSize: cfg.MemSize, Coord: [3]int{n, 0, 0}})
 		m.Chips = append(m.Chips, chip)
+		if m.Comb != nil {
+			m.Comb.AttachUPC(n, chip.UPC)
+		}
 		coord := torus.Coord{n, 0, 0}
 		m.Coords = append(m.Coords, coord)
 		ifc := m.Torus.Attach(chip, coord)
@@ -115,6 +119,9 @@ func New(cfg Config) (*Machine, error) {
 			ids = append(ids, n)
 		}
 		tree := collective.NewTree(m.Eng, collective.DefaultConfig(), ids)
+		for _, id := range ids {
+			tree.CN(id).AttachUPC(m.Chips[id].UPC)
+		}
 		ionFS := fs.New()
 		ionFS.MustMkdirAll("/gpfs")
 		ionFS.MustMkdirAll("/lib")
@@ -128,10 +135,12 @@ func New(cfg Config) (*Machine, error) {
 		treeIdx := n / cfg.CNsPerION
 		switch cfg.Kind {
 		case KindCNK:
+			io := ciod.NewClient(m.Trees[treeIdx].CN(n))
+			io.AttachUPC(chip.UPC)
 			k := cnk.New(m.Eng, chip, cnk.Config{
 				MaxThreadsPerCore: cfg.MaxThreadsPerCore,
 				Reproducible:      cfg.Reproducible,
-				IO:                ciod.NewClient(m.Trees[treeIdx].CN(n)),
+				IO:                io,
 			})
 			if err := k.Boot(); err != nil {
 				return nil, fmt.Errorf("machine: node %d: %v", n, err)
@@ -156,6 +165,35 @@ func New(cfg Config) (*Machine, error) {
 
 // KernelName reports which kernel runs on the compute nodes.
 func (m *Machine) KernelName() string { return m.Cfg.Kind.String() }
+
+// CounterSnapshot returns node's UPC counters at the current instant.
+func (m *Machine) CounterSnapshot(node int) upc.Snapshot {
+	return m.Chips[node].UPC.Snapshot()
+}
+
+// CounterSnapshots returns every node's counters, indexed by node.
+func (m *Machine) CounterSnapshots() []upc.Snapshot {
+	out := make([]upc.Snapshot, len(m.Chips))
+	for n, ch := range m.Chips {
+		out[n] = ch.UPC.Snapshot()
+	}
+	return out
+}
+
+// MergedCounters returns the machine-wide counter sum.
+func (m *Machine) MergedCounters() upc.Snapshot {
+	return upc.Merge(m.CounterSnapshots()...)
+}
+
+// EnableTracepoints turns on the given tracepoint categories on every
+// node and mirrors emitted points into the engine trace, so the run's
+// reproducibility hash covers them. Recording costs no simulated cycles.
+func (m *Machine) EnableTracepoints(mask upc.Category) {
+	for _, ch := range m.Chips {
+		ch.UPC.Trace.AttachTrace(m.Eng.Trace())
+		ch.UPC.Trace.Enable(mask)
+	}
+}
 
 // Env is what a running application rank sees besides its kernel Context.
 type Env struct {

@@ -18,6 +18,7 @@ import (
 
 	"bgcnk/internal/hw"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
 )
 
 // Coord is a 3-D torus coordinate.
@@ -216,6 +217,9 @@ func (i *Interface) SendPacket(dst Coord, tag uint32, kind uint8, payload []byte
 	done := i.net.transferDone(i.coord, dst, len(payload))
 	p := Packet{From: i.coord, Tag: tag, Kind: kind, Payload: append([]byte(nil), payload...)}
 	i.PacketsSent++
+	u := i.chip.UPC
+	u.Inc(upc.ChipScope, upc.TorusPacket)
+	u.Trace.Emit(upc.EvTorusPacket, upc.ChipScope, i.net.eng.Now(), uint64(tag))
 	target := i.net.At(dst)
 	i.net.eng.At(done+i.net.cfg.RecvOverhead, func() { target.deliver(p) })
 }
@@ -299,6 +303,10 @@ func (i *Interface) Put(dst Coord, src, dstRanges []PhysRange, onDone func()) si
 	done := i.net.transferDone(i.coord, dst, int(total)) + descCost + i.net.cfg.RecvOverhead
 	i.Descriptors += uint64(len(src))
 	i.BytesPut += total
+	u := i.chip.UPC
+	u.Add(upc.ChipScope, upc.DMADescriptor, uint64(len(src)))
+	u.Add(upc.ChipScope, upc.TorusBytes, total)
+	u.Trace.Emit(upc.EvDMAInject, upc.ChipScope, i.net.eng.Now(), total)
 	i.net.eng.At(done, func() {
 		off := uint64(0)
 		for _, r := range dstRanges {
@@ -320,6 +328,8 @@ func (i *Interface) Get(dst Coord, remote, local []PhysRange, onDone func()) {
 	target := i.net.At(dst)
 	reqDone := i.net.transferDone(i.coord, dst, 16) // request descriptor packet
 	i.Descriptors++
+	i.chip.UPC.Inc(upc.ChipScope, upc.DMADescriptor)
+	i.chip.UPC.Trace.Emit(upc.EvDMAInject, upc.ChipScope, i.net.eng.Now(), 16)
 	i.net.eng.At(reqDone+i.net.cfg.RecvOverhead, func() {
 		target.Put(i.coord, remote, local, onDone)
 	})

@@ -1,0 +1,159 @@
+// Package upc models the Blue Gene/P Universal Performance Counter unit:
+// a queryable, zero-allocation counter block plus a bounded tracepoint
+// ring, threaded through every layer that charges simulated cycles.
+//
+// The real chip ships a UPC unit precisely because CNK's
+// cycle-reproducible execution makes counters trustworthy: the same run
+// produces the same counts, so "where did the cycles go" has one answer
+// (paper Section III). The simulation already charges cycles for TLB
+// refills, cache levels, interrupts, ticks and DMA; this package exposes
+// those events as first-class counters so experiments measure their
+// decompositions instead of inferring them.
+//
+// Design constraints, enforced by tests:
+//
+//   - Incrementing a counter on the hot path allocates nothing: the Set is
+//     fixed-size arrays indexed by (core slot, counter id).
+//   - Tracepoints cost nothing when their category is disabled (one mask
+//     test), and when enabled they never advance simulated time — they
+//     record, they do not Sleep — so enabling observability cannot perturb
+//     a run's cycle totals (no Heisenberg effects).
+//   - Snapshots are comparable values: two runs replayed from the same
+//     seeds yield snapshots that compare equal with ==.
+package upc
+
+// MaxCores is the per-chip core-slot count (Blue Gene/P has 4). Counter
+// values are tracked per core plus one chip-scoped slot for events with no
+// core affinity (shared L3, DDR, network DMA).
+const MaxCores = 4
+
+// NumSlots is MaxCores core slots plus the chip-scoped slot.
+const NumSlots = MaxCores + 1
+
+// MaxSyscalls bounds the per-syscall-number counter array. It must be at
+// least kernel.NumSys (statically asserted in the kernel package).
+const MaxSyscalls = 48
+
+// ChipScope is the core argument selecting the chip-scoped slot.
+const ChipScope = -1
+
+// Counter identifies one performance counter.
+type Counter uint8
+
+// Counters. Scope noted where chip-wide; all others are per-core.
+const (
+	// Address translation.
+	TLBHit Counter = iota
+	TLBMiss
+	TLBRefill4K
+	TLBRefill64K
+	TLBRefill1M
+	TLBRefill16M
+	TLBRefill256M
+	TLBRefill1G
+	PageFault
+	// Memory hierarchy.
+	L1Hit
+	L1Miss
+	StoreMiss
+	L3Hit        // chip
+	L3Miss       // chip
+	DDRRead      // chip
+	DDRWrite     // chip
+	RefreshStall // chip
+	// Kernel events.
+	Interrupt
+	IPI
+	TimerTick
+	DaemonRun
+	ContextSwitch
+	Preemption
+	SyscallTotal
+	FutexWait
+	FutexWake
+	// I/O and networks.
+	FunctionShip  // chip: CIOD round trips
+	DMADescriptor // chip: torus DMA descriptors injected
+	TorusPacket   // chip
+	TorusBytes    // chip
+	CollPacket    // chip: collective-network packets sent
+	CollBytes     // chip
+	CombineOp     // chip: combining-tree allreduce operations
+
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	"tlb_hit", "tlb_miss",
+	"tlb_refill_4k", "tlb_refill_64k", "tlb_refill_1m", "tlb_refill_16m",
+	"tlb_refill_256m", "tlb_refill_1g",
+	"page_fault",
+	"l1_hit", "l1_miss", "store_miss", "l3_hit", "l3_miss",
+	"ddr_read", "ddr_write", "refresh_stall",
+	"interrupt", "ipi", "timer_tick", "daemon_run",
+	"context_switch", "preemption", "syscall",
+	"futex_wait", "futex_wake",
+	"function_ship", "dma_descriptor", "torus_packet", "torus_bytes",
+	"coll_packet", "coll_bytes", "combine_op",
+}
+
+func (c Counter) String() string {
+	if c < NumCounters {
+		return counterNames[c]
+	}
+	return "counter(?)"
+}
+
+// RefillCounters lists the per-page-size TLB refill counters in increasing
+// page-size order (4K, 64K, 1M, 16M, 256M, 1G), matching hw.PageSizes.
+var RefillCounters = [6]Counter{
+	TLBRefill4K, TLBRefill64K, TLBRefill1M, TLBRefill16M, TLBRefill256M, TLBRefill1G,
+}
+
+// slot maps a core index to its storage slot; ChipScope (or any
+// out-of-range core) selects the chip slot.
+func slot(core int) int {
+	if core < 0 || core >= MaxCores {
+		return MaxCores
+	}
+	return core
+}
+
+// Set is one chip's counter block. The zero value is ready to use; all
+// mutation is fixed-array indexing, so the hot path never allocates.
+type Set struct {
+	vals [NumSlots][NumCounters]uint64
+	sys  [NumSlots][MaxSyscalls]uint64
+}
+
+// Inc adds one to counter c on core (ChipScope for chip-wide events).
+func (s *Set) Inc(core int, c Counter) { s.vals[slot(core)][c]++ }
+
+// Add adds n to counter c on core.
+func (s *Set) Add(core int, c Counter, n uint64) { s.vals[slot(core)][c] += n }
+
+// Syscall counts one invocation of syscall number num on core, maintaining
+// both the per-number array and the SyscallTotal counter.
+func (s *Set) Syscall(core int, num int) {
+	sl := slot(core)
+	s.vals[sl][SyscallTotal]++
+	if num >= 0 && num < MaxSyscalls {
+		s.sys[sl][num]++
+	}
+}
+
+// Get reads counter c on core without snapshotting.
+func (s *Set) Get(core int, c Counter) uint64 { return s.vals[slot(core)][c] }
+
+// Reset zeroes every counter (chip reset semantics).
+func (s *Set) Reset() {
+	s.vals = [NumSlots][NumCounters]uint64{}
+	s.sys = [NumSlots][MaxSyscalls]uint64{}
+}
+
+// Snapshot captures the current counter values as a comparable value: two
+// snapshots are equal (==) iff every per-slot counter and per-syscall
+// count matches.
+func (s *Set) Snapshot() Snapshot {
+	return Snapshot{Vals: s.vals, Sys: s.sys}
+}

@@ -1,0 +1,172 @@
+package upc
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bgcnk/internal/sim"
+)
+
+func TestSetIncAddSnapshotDelta(t *testing.T) {
+	var s Set
+	s.Inc(0, TLBMiss)
+	s.Inc(0, TLBMiss)
+	s.Add(2, L1Hit, 10)
+	s.Inc(ChipScope, L3Miss)
+	s.Syscall(1, 3)
+	s.Syscall(1, 3)
+	s.Syscall(1, 7)
+
+	snap := s.Snapshot()
+	if got := snap.Core(0, TLBMiss); got != 2 {
+		t.Fatalf("core0 tlb_miss = %d, want 2", got)
+	}
+	if got := snap.Core(2, L1Hit); got != 10 {
+		t.Fatalf("core2 l1_hit = %d, want 10", got)
+	}
+	if got := snap.Chip(L3Miss); got != 1 {
+		t.Fatalf("chip l3_miss = %d, want 1", got)
+	}
+	if got := snap.Total(SyscallTotal); got != 3 {
+		t.Fatalf("syscall total = %d, want 3", got)
+	}
+	if got := snap.SyscallCount(3); got != 2 {
+		t.Fatalf("syscall #3 = %d, want 2", got)
+	}
+
+	// Delta over a bracketed region attributes exactly the inner counts.
+	before := s.Snapshot()
+	s.Add(1, TimerTick, 5)
+	d := Delta(before, s.Snapshot())
+	if got := d.Total(TimerTick); got != 5 {
+		t.Fatalf("delta timer_tick = %d, want 5", got)
+	}
+	if got := d.Total(TLBMiss); got != 0 {
+		t.Fatalf("delta tlb_miss = %d, want 0", got)
+	}
+
+	// Snapshots are comparable values.
+	if s.Snapshot() != s.Snapshot() {
+		t.Fatal("identical snapshots must compare equal")
+	}
+	s.Reset()
+	if !s.Snapshot().IsZero() {
+		t.Fatal("reset set must snapshot to zero")
+	}
+}
+
+func TestSlotClamping(t *testing.T) {
+	var s Set
+	s.Inc(-1, DDRRead)
+	s.Inc(99, DDRRead) // out of range clamps to the chip slot
+	if got := s.Snapshot().Chip(DDRRead); got != 2 {
+		t.Fatalf("chip ddr_read = %d, want 2", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Set
+	a.Inc(0, Interrupt)
+	b.Add(0, Interrupt, 3)
+	b.Syscall(2, 5)
+	m := Merge(a.Snapshot(), b.Snapshot())
+	if got := m.Core(0, Interrupt); got != 4 {
+		t.Fatalf("merged interrupt = %d, want 4", got)
+	}
+	if got := m.SyscallCount(5); got != 1 {
+		t.Fatalf("merged syscall #5 = %d, want 1", got)
+	}
+}
+
+func TestTextAndJSONRendering(t *testing.T) {
+	var s Set
+	s.Add(0, TimerTick, 42)
+	s.Inc(ChipScope, FunctionShip)
+	s.Syscall(0, 1)
+	snap := s.Snapshot()
+
+	txt := snap.Text()
+	if !strings.Contains(txt, "timer_tick") || !strings.Contains(txt, "42") {
+		t.Fatalf("text rendering missing counters:\n%s", txt)
+	}
+	js := snap.JSON()
+	if !json.Valid([]byte(js)) {
+		t.Fatalf("JSON rendering is not valid JSON: %s", js)
+	}
+	if !strings.Contains(js, `"timer_tick"`) || !strings.Contains(js, `"function_ship"`) {
+		t.Fatalf("JSON rendering missing counters: %s", js)
+	}
+	// Deterministic rendering: equal snapshots render byte-identically.
+	if snap.JSON() != snap.JSON() || snap.Text() != snap.Text() {
+		t.Fatal("rendering must be deterministic")
+	}
+}
+
+func TestRingMaskAndBounds(t *testing.T) {
+	var r Ring
+	// Disabled: emit is a no-op.
+	r.Emit(EvTick, 0, 100, 0)
+	if r.Count() != 0 || r.Hash() != 0 {
+		t.Fatal("disabled tracepoint must record nothing")
+	}
+	r.Enable(CatIRQ)
+	if !r.Enabled(EvTick) || r.Enabled(EvCtxSwitch) {
+		t.Fatal("mask must gate by category")
+	}
+	r.Emit(EvTick, 1, 200, 7)
+	r.Emit(EvCtxSwitch, 1, 201, 0) // CatSched still off
+	if r.Count() != 1 {
+		t.Fatalf("count = %d, want 1", r.Count())
+	}
+	pts := r.Points()
+	if len(pts) != 1 || pts[0].Event != EvTick || pts[0].Core != 1 || pts[0].Arg != 7 {
+		t.Fatalf("points = %+v", pts)
+	}
+
+	// Bounded: emitting beyond RingCap evicts oldest but keeps counting.
+	r.Reset()
+	r.Enable(CatAll)
+	for i := 0; i < RingCap+10; i++ {
+		r.Emit(EvTick, 0, sim.Cycles(i), uint64(i))
+	}
+	if r.Count() != RingCap+10 {
+		t.Fatalf("count = %d, want %d", r.Count(), RingCap+10)
+	}
+	pts = r.Points()
+	if len(pts) != RingCap {
+		t.Fatalf("retained = %d, want %d", len(pts), RingCap)
+	}
+	if pts[0].Arg != 10 || pts[len(pts)-1].Arg != RingCap+9 {
+		t.Fatalf("ring order wrong: first=%d last=%d", pts[0].Arg, pts[len(pts)-1].Arg)
+	}
+}
+
+func TestRingHashDeterminism(t *testing.T) {
+	run := func() uint64 {
+		var r Ring
+		r.Enable(CatAll)
+		for i := 0; i < 100; i++ {
+			r.Emit(Event(i%int(NumEvents)), i%4, sim.Cycles(i*13), uint64(i))
+		}
+		return r.Hash()
+	}
+	if run() != run() {
+		t.Fatal("identical emit sequences must hash identically")
+	}
+}
+
+func TestRingFeedsSimTrace(t *testing.T) {
+	tr := sim.NewTrace()
+	base := tr.Hash()
+	var r Ring
+	r.AttachTrace(tr)
+	r.Enable(CatAll)
+	r.Emit(EvShipCall, 2, 500, 3)
+	if tr.Hash() == base {
+		t.Fatal("enabled tracepoint must feed the sim trace hash")
+	}
+	if tr.Count() != 1 {
+		t.Fatalf("trace count = %d, want 1", tr.Count())
+	}
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# CI gate: vet, build, the full test suite under the race detector, the
+# fuzz seed-corpus regressions, and a short live fuzz pass on each fuzz
+# target. Run from the repository root:
+#
+#   ./scripts/ci.sh            # full gate
+#   FUZZTIME=0 ./scripts/ci.sh # skip the live fuzz pass (regressions still run)
+set -eu
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== fuzz seed-corpus regressions"
+go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/
+
+if [ "$FUZZTIME" != "0" ]; then
+	echo "== live fuzzing ($FUZZTIME per target)"
+	go test -fuzz=FuzzFS -fuzztime="$FUZZTIME" ./internal/fs/
+	go test -fuzz=FuzzMarshal -fuzztime="$FUZZTIME" ./internal/ciod/
+fi
+
+echo "CI gate passed."
