@@ -22,6 +22,7 @@ import (
 	"bgcnk/internal/experiments"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/machine"
+	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
 )
@@ -63,7 +64,24 @@ type MachineConfig struct {
 	MaxThreadsPerCore int
 	// MemBytes is per-node DDR (default 256MB).
 	MemBytes uint64
+	// Faults, when non-nil with any non-zero rate, arms the seeded RAS
+	// fault injector: the plan's seed fully determines the fault
+	// schedule, so fault-injected runs stay bit-reproducible. The
+	// machine's RAS field then holds the event log.
+	Faults *FaultPlan
 }
+
+// FaultPlan is a seeded fault-injection plan: per-opportunity rates for
+// DDR ECC errors, TLB parity flips, link CRC corruption, and CIOD reply
+// loss / daemon crashes. The zero plan injects nothing.
+type FaultPlan = ras.Plan
+
+// RASLog is the machine-wide reliability event log (Machine.RAS; nil on
+// machines built without a fault plan).
+type RASLog = ras.Log
+
+// DefaultFaultPlan returns a moderate all-classes plan seeded with seed.
+func DefaultFaultPlan(seed uint64) *FaultPlan { return ras.DefaultPlan(seed) }
 
 // Machine is a simulated Blue Gene/P system.
 type Machine struct {
@@ -79,6 +97,7 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		Reproducible:      cfg.Reproducible,
 		MaxThreadsPerCore: cfg.MaxThreadsPerCore,
 		MemSize:           cfg.MemBytes,
+		Faults:            cfg.Faults,
 	})
 	if err != nil {
 		return nil, err

@@ -40,7 +40,7 @@ func TestFacadeFWK(t *testing.T) {
 
 func TestExperimentRegistryAccessible(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 10 {
+	if len(ids) != 11 {
 		t.Fatalf("experiments: %v", ids)
 	}
 	if _, err := Experiment("no-such", true); err == nil {

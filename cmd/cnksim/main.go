@@ -5,6 +5,7 @@
 //	go run ./cmd/cnksim -kernel cnk -workload fwq -samples 2000
 //	go run ./cmd/cnksim -kernel fwk -workload fwq -samples 2000 -seed 7
 //	go run ./cmd/cnksim -kernel cnk -nodes 8 -workload allreduce
+//	go run ./cmd/cnksim -kernel cnk -workload linpack -faults 42 -ras
 package main
 
 import (
@@ -28,6 +29,8 @@ func main() {
 	samples := flag.Int("samples", 2000, "FWQ samples / allreduce iterations")
 	seed := flag.Uint64("seed", 1, "FWK daemon-phase seed")
 	counters := flag.String("counters", "", "print UPC counters after the run: text or json")
+	faults := flag.Uint64("faults", 0, "arm the seeded fault injector with this fault seed (0 = perfect machine)")
+	rasDump := flag.Bool("ras", false, "print the RAS event log after the run")
 	flag.Parse()
 
 	if *counters != "" && *counters != "text" && *counters != "json" {
@@ -39,9 +42,11 @@ func main() {
 	if *kernelName == "fwk" {
 		kind = bluegene.FWK
 	}
-	m, err := bluegene.NewMachine(bluegene.MachineConfig{
-		Nodes: *nodes, Kernel: kind, Seed: *seed,
-	})
+	mcfg := bluegene.MachineConfig{Nodes: *nodes, Kernel: kind, Seed: *seed}
+	if *faults != 0 {
+		mcfg.Faults = bluegene.DefaultFaultPlan(*faults)
+	}
+	m, err := bluegene.NewMachine(mcfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -105,6 +110,15 @@ func main() {
 			fmt.Println(snap.JSON())
 		} else {
 			fmt.Print(snap.Text())
+		}
+	}
+
+	if *rasDump {
+		if m.RAS == nil {
+			fmt.Println("\nno RAS log: the injector is not armed (use -faults <seed>)")
+		} else {
+			fmt.Printf("\nRAS event log (%d events, hash %016x):\n", m.RAS.Total(), m.RAS.Hash())
+			fmt.Print(m.RAS.Table())
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bgcnk/internal/collective"
 	"bgcnk/internal/fs"
 	"bgcnk/internal/kernel"
+	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
 )
@@ -13,6 +14,25 @@ import (
 // required in CNK to implement the offload is minimal" (Section IV-A).
 const costMarshal = sim.Cycles(300)
 
+// RetryPolicy bounds how long a function-shipped call waits for its reply
+// and how persistently it resends. The zero value is the legacy blocking
+// protocol: wait forever, never resend — which schedules no timer events,
+// so fault-free runs are unchanged to the cycle.
+type RetryPolicy struct {
+	// Timeout is the per-attempt reply deadline; 0 waits forever.
+	Timeout sim.Cycles
+	// MaxRetries is how many resends follow the first attempt.
+	MaxRetries int
+	// Backoff is the delay before the first resend, doubling per retry.
+	Backoff sim.Cycles
+}
+
+// DefaultRetryPolicy covers a CIOD crash+restart: five attempts whose
+// window comfortably exceeds the default daemon respawn delay.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Timeout: 60_000, MaxRetries: 4, Backoff: 4_000}
+}
+
 // Client ships requests from a compute node to CIOD over the collective
 // network and blocks the calling coroutine for the round trip. CNK does
 // not yield the core during a shipped call (paper Section VI-C), so the
@@ -21,7 +41,12 @@ type Client struct {
 	ep      *collective.Endpoint
 	nextTag uint32
 	upc     *upc.UPC
-	Calls   uint64
+	policy  RetryPolicy
+	faults  *ras.NodeFaults
+
+	Calls    uint64
+	Timeouts uint64
+	Retries  uint64
 }
 
 // NewClient wraps a compute node's tree endpoint.
@@ -34,22 +59,72 @@ func NewClient(ep *collective.Endpoint) *Client {
 // every caller — shipIO and mmap copy-in alike — exactly once.
 func (cl *Client) AttachUPC(u *upc.UPC) { cl.upc = u }
 
-// Call implements Transport.
+// SetRetryPolicy arms function-ship timeouts and bounded retries.
+func (cl *Client) SetRetryPolicy(p RetryPolicy) { cl.policy = p }
+
+// AttachFaults routes the client's give-up events (retries exhausted,
+// EIO surfaced) to the machine's RAS log.
+func (cl *Client) AttachFaults(f *ras.NodeFaults) { cl.faults = f }
+
+// Call implements Transport. With a retry policy armed, each attempt uses
+// a fresh tag (so a late reply to an abandoned attempt can never be
+// mistaken for the current one; stale replies simply age in the inbox),
+// resends back off exponentially, and exhaustion surfaces EIO — the errno
+// the application would see from a dead I/O path on the real machine.
 func (cl *Client) Call(c *sim.Coro, req *Request) *Reply {
-	cl.nextTag++
-	tag := cl.nextTag
 	if cl.upc != nil {
 		cl.upc.Inc(upc.ChipScope, upc.FunctionShip)
 	}
 	c.Sleep(costMarshal)
-	cl.ep.Send(-1, tag, MarshalRequest(req))
-	msg := cl.ep.RecvTag(c, tag)
-	rep, err := UnmarshalReply(msg.Data)
-	if err != nil {
-		return &Reply{Errno: kernel.EIO}
+	data := MarshalRequest(req)
+	attempts := 1
+	if cl.policy.Timeout > 0 {
+		attempts += cl.policy.MaxRetries
 	}
-	cl.Calls++
-	return rep
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			cl.Retries++
+			if cl.upc != nil {
+				cl.upc.Inc(upc.ChipScope, upc.CIODRetry)
+			}
+			c.Sleep(cl.policy.Backoff << (a - 1))
+		}
+		cl.nextTag++
+		tag := cl.nextTag
+		cl.ep.Send(-1, tag, data)
+		timeout := sim.Forever
+		if cl.policy.Timeout > 0 {
+			timeout = cl.policy.Timeout
+		}
+		msg, ok := cl.ep.RecvTagTimeout(c, tag, timeout)
+		if !ok {
+			cl.Timeouts++
+			if cl.upc != nil {
+				cl.upc.Inc(upc.ChipScope, upc.CIODTimeout)
+			}
+			continue
+		}
+		rep, err := UnmarshalReply(msg.Data)
+		if err != nil {
+			// A truncated reply is indistinguishable from a lost one at
+			// this layer: resend if the policy allows.
+			if cl.policy.Timeout > 0 {
+				cl.Timeouts++
+				if cl.upc != nil {
+					cl.upc.Inc(upc.ChipScope, upc.CIODTimeout)
+				}
+				continue
+			}
+			return &Reply{Errno: kernel.EIO}
+		}
+		cl.Calls++
+		return rep
+	}
+	if cl.faults != nil {
+		cl.faults.Report(ras.CIODGiveUp, "ciod-client",
+			OpName(req.Op)+" retries exhausted, surfacing EIO")
+	}
+	return &Reply{Errno: kernel.EIO}
 }
 
 // Loopback is a Transport that executes against a local filesystem with a

@@ -21,6 +21,19 @@ func FuzzMarshal(f *testing.F) {
 	f.Add(MarshalReply(&Reply{Ret: 42, Errno: kernel.OK, Data: []byte("payload")}))
 	f.Add(MarshalReply(&Reply{Ret: ^uint64(0), Errno: kernel.ENOENT, Str: "/cwd"}))
 	f.Add(MarshalStat(fs.Stat{Ino: 7, Type: fs.TypeFile, Mode: 0600, Size: 4096, Nlink: 1}))
+	// Retry/retransmit framing seeds: the shapes the RAS layer puts on
+	// the wire — a re-shipped proc start (the reconnect after a CIOD
+	// crash), the EIO reply surfaced after retry exhaustion, and CRC-cut
+	// truncations of previously valid frames (what a corrupted or
+	// half-dropped retransmission would look like to the decoders).
+	f.Add(MarshalRequest(&Request{Op: OpProcStart, PID: 3, UID: 7, GID: 8}))
+	f.Add(MarshalReply(&Reply{Errno: kernel.EIO}))
+	retrans := MarshalReply(&Reply{Ret: 9, Data: []byte("retransmitted payload")})
+	f.Add(retrans[:len(retrans)/2])
+	f.Add(retrans[:len(retrans)-1])
+	retry := MarshalRequest(&Request{Op: OpWrite, PID: 1, TID: 5, FD: 3,
+		Size: 8, Data: []byte("deadbeef")})
+	f.Add(retry[:len(retry)-3])
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, wire []byte) {

@@ -2,10 +2,12 @@ package ciod
 
 import (
 	"fmt"
+	"sort"
 
 	"bgcnk/internal/collective"
 	"bgcnk/internal/fs"
 	"bgcnk/internal/kernel"
+	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 )
 
@@ -33,9 +35,17 @@ type Server struct {
 	fs   *fs.FS
 	prox map[proxyKey]*ioproxy
 
+	// faults draws seeded reply drops and daemon crashes; nil on a
+	// perfect machine. down is true between a crash and the respawn.
+	faults       *ras.NodeFaults
+	restartDelay sim.Cycles
+	down         bool
+
 	Calls    uint64 // function-shipped calls served
 	Proxies  int    // ioproxies ever created
 	MaxProxy int    // high-water mark of live proxies
+	Crashes  int    // daemon crash+restart cycles
+	Dropped  uint64 // replies lost to injected faults
 }
 
 type ioproxy struct {
@@ -47,6 +57,9 @@ type ioproxy struct {
 type proxyThread struct {
 	queue []pendingCall
 	coro  *sim.Coro
+	// dead tells the proxy coroutine to exit: its process left or the
+	// daemon crashed. Any reply it produces after dying is discarded.
+	dead bool
 }
 
 type pendingCall struct {
@@ -63,10 +76,24 @@ func NewServer(eng *sim.Engine, ep *collective.Endpoint, f *fs.FS) *Server {
 	return s
 }
 
+// SetFaults wires the I/O node's seeded fault source into the daemon:
+// replies may be dropped, and after a configured number of served calls
+// the daemon crashes and respawns restartDelay cycles later.
+func (s *Server) SetFaults(f *ras.NodeFaults, restartDelay sim.Cycles) {
+	s.faults = f
+	s.restartDelay = restartDelay
+}
+
 // dispatcher is CIOD's main loop: receive, route to the proxy thread.
 func (s *Server) dispatcher(c *sim.Coro) {
 	for {
 		msg := s.ep.Recv(c)
+		if s.down {
+			// Messages addressed to a dead daemon vanish; the client's
+			// timeout/retry path covers the loss.
+			s.Dropped++
+			continue
+		}
 		c.Sleep(costDispatch)
 		req, err := UnmarshalRequest(msg.Data)
 		if err != nil {
@@ -94,6 +121,13 @@ func (s *Server) route(req *Request, from int, tag uint32) {
 		s.ep.Send(from, tag, MarshalReply(&Reply{}))
 		return
 	case OpProcExit:
+		// Fail any calls still queued on the dying proxy's threads with
+		// EIO before tearing it down — otherwise the compute-node
+		// coroutines behind them would block forever on replies that can
+		// no longer come.
+		if p, ok := s.prox[key]; ok {
+			s.failProxy(p)
+		}
 		delete(s.prox, key)
 		s.ep.Send(from, tag, MarshalReply(&Reply{}))
 		return
@@ -121,16 +155,88 @@ func (s *Server) route(req *Request, from int, tag uint32) {
 func (s *Server) proxyLoop(c *sim.Coro, p *ioproxy, t *proxyThread) {
 	for {
 		for len(t.queue) == 0 {
+			if t.dead {
+				return
+			}
 			c.Park(sim.Forever)
+		}
+		if t.dead {
+			return
 		}
 		call := t.queue[0]
 		t.queue = t.queue[1:]
 		c.Sleep(costExecute)
 		rep := s.execute(p, call.req)
 		s.Calls++
-		s.ep.Send(call.from, call.tag, MarshalReply(rep))
+		if t.dead {
+			// The daemon died mid-call; the reply has nowhere to go (the
+			// crash already flushed EIO for whatever was still queued).
+			return
+		}
+		if s.faults != nil && s.faults.ReplyDrop() {
+			s.Dropped++
+		} else {
+			s.ep.Send(call.from, call.tag, MarshalReply(rep))
+		}
+		if s.faults != nil && s.faults.CrashDue() {
+			s.crash()
+		}
 	}
 }
+
+// failProxy flushes EIO replies for every call still queued on the
+// proxy's threads and retires the threads, in deterministic (TID) order.
+func (s *Server) failProxy(p *ioproxy) {
+	tids := make([]uint32, 0, len(p.threads))
+	for tid := range p.threads {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		t := p.threads[tid]
+		for _, call := range t.queue {
+			s.ep.Send(call.from, call.tag, MarshalReply(&Reply{Errno: kernel.EIO}))
+		}
+		t.queue = nil
+		t.dead = true
+		if t.coro != nil {
+			t.coro.Wake()
+		}
+	}
+}
+
+// crash kills the daemon: every ioproxy dies with it (queued calls get a
+// last-gasp EIO flush from the shared buffer), inbound messages are
+// dropped until the control system respawns CIOD restartDelay cycles
+// later. Respawned daemons know nothing of old processes, so the first
+// post-restart call from a live job draws ESRCH and the compute-node
+// kernel re-ships OpProcStart to reconnect.
+func (s *Server) crash() {
+	s.Crashes++
+	s.down = true
+	keys := make([]proxyKey, 0, len(s.prox))
+	for k := range s.prox {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].pid < keys[j].pid
+	})
+	for _, k := range keys {
+		s.failProxy(s.prox[k])
+	}
+	s.prox = make(map[proxyKey]*ioproxy)
+	delay := s.restartDelay
+	if delay <= 0 {
+		delay = 1
+	}
+	s.eng.At(s.eng.Now()+delay, func() { s.down = false })
+}
+
+// Down reports whether the daemon is currently crashed (for tests).
+func (s *Server) Down() bool { return s.down }
 
 // execute performs the request against the proxy's filesystem client —
 // "the ioproxy decodes the message, demarshals the arguments, and performs

@@ -1,6 +1,7 @@
 package cnk
 
 import (
+	"errors"
 	"testing"
 
 	"bgcnk/internal/ciod"
@@ -791,8 +792,38 @@ func TestRestartWithoutPrepareFails(t *testing.T) {
 	k := New(eng, hw.NewChip(hw.ChipConfig{ID: 0}), Config{})
 	k.Boot()
 	k.booted = false
-	if err := k.RestartReproducible(); err == nil {
+	err := k.RestartReproducible()
+	if err == nil {
 		t.Fatal("restart without prepared Boot SRAM must fail")
+	}
+	var re *ResetError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *ResetError for missing magic, got %T: %v", err, err)
+	}
+	if re.Chip != 0 {
+		t.Errorf("ResetError names chip %d, want 0", re.Chip)
+	}
+}
+
+func TestRestartWithoutSelfRefreshFails(t *testing.T) {
+	// The magic alone is not enough: if the reset protocol was skipped
+	// (DDR never entered self-refresh), memory did not survive and the
+	// restart must refuse with a typed error rather than come up on
+	// garbage.
+	eng := sim.NewEngine()
+	chip := hw.NewChip(hw.ChipConfig{ID: 3})
+	k := New(eng, chip, Config{})
+	copy(chip.BootSRAM[:], resetMagic)
+	err := k.RestartReproducible()
+	if err == nil {
+		t.Fatal("restart with DDR out of self-refresh must fail")
+	}
+	var re *ResetError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *ResetError for skipped self-refresh, got %T: %v", err, err)
+	}
+	if re.Chip != 3 {
+		t.Errorf("ResetError names chip %d, want 3", re.Chip)
 	}
 }
 

@@ -1,6 +1,8 @@
 package cnk
 
 import (
+	"fmt"
+
 	"bgcnk/internal/ciod"
 	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
@@ -9,6 +11,26 @@ import (
 
 // maxPath bounds path strings copied from user space.
 const maxPath = 1024
+
+// ioCall ships one request, transparently reconnecting if CIOD answers
+// ESRCH for a process it has already been told about: that means the
+// daemon crashed and respawned, losing its ioproxies, so CNK re-ships
+// OpProcStart and retries the original call once.
+func (k *Kernel) ioCall(t *kernel.Thread, p *Proc, req *ciod.Request) *ciod.Reply {
+	rep := k.cfg.IO.Call(t.Coro(), req)
+	if rep.Errno == kernel.ESRCH && p.ioStarted &&
+		req.Op != ciod.OpProcStart && req.Op != ciod.OpProcExit {
+		k.trace(k.Eng.Now(), fmt.Sprintf("ciod forgot pid %d (daemon restart); re-shipping proc start", p.PID))
+		start := k.cfg.IO.Call(t.Coro(), &ciod.Request{
+			Op: ciod.OpProcStart, PID: p.PID, UID: p.UID, GID: p.GID,
+		})
+		if start.Errno != kernel.OK {
+			return rep
+		}
+		rep = k.cfg.IO.Call(t.Coro(), req)
+	}
+	return rep
+}
 
 // shipIO marshals a file-I/O system call into a CIOD request, ships it
 // over the collective network, and blocks the calling thread for the
@@ -118,7 +140,7 @@ func (k *Kernel) shipIO(t *kernel.Thread, p *Proc, num kernel.Sys, args []uint64
 	}
 
 	k.Chip.UPC.Trace.Emit(upc.EvShipCall, t.CoreID(), k.Eng.Now(), uint64(num))
-	rep := k.cfg.IO.Call(t.Coro(), req)
+	rep := k.ioCall(t, p, req)
 	if rep.Errno != kernel.OK {
 		return rep.Ret, rep.Errno
 	}
@@ -180,7 +202,7 @@ func (k *Kernel) mmapCopyIn(t *kernel.Thread, p *Proc, va hw.VAddr, length uint6
 		return kernel.ENOSYS
 	}
 	// Seek then read the full range via the proxy, chunked.
-	rep := k.cfg.IO.Call(t.Coro(), &ciod.Request{
+	rep := k.ioCall(t, p, &ciod.Request{
 		Op: ciod.OpLseek, PID: p.PID, TID: t.TID(), FD: fd, Off: off, Whence: int32(kernel.SeekSet),
 	})
 	if rep.Errno != kernel.OK {
@@ -192,7 +214,7 @@ func (k *Kernel) mmapCopyIn(t *kernel.Thread, p *Proc, va hw.VAddr, length uint6
 		if chunk > 64<<10 {
 			chunk = 64 << 10
 		}
-		rep := k.cfg.IO.Call(t.Coro(), &ciod.Request{
+		rep := k.ioCall(t, p, &ciod.Request{
 			Op: ciod.OpRead, PID: p.PID, TID: t.TID(), FD: fd, Size: chunk,
 		})
 		if rep.Errno != kernel.OK {

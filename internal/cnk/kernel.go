@@ -15,6 +15,7 @@ import (
 	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/mem"
+	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
 )
@@ -31,6 +32,7 @@ const (
 	syscallCost         = 120    // kernel entry/exit
 	ipiCost             = 400    // inter-processor interrupt service
 	guardRepositionCost = 250
+	tlbReinstallCost    = 120 // re-install a parity-invalidated static entry
 )
 
 // Config parameterizes the kernel.
@@ -207,6 +209,18 @@ func (k *Kernel) MemEvent(t *kernel.Thread, ev hw.MemEvent, va hw.VAddr, write b
 		// Bell run).
 		t.PostSignal(kernel.SigInfo{Sig: kernel.SIGBUS, Addr: va, Code: 1})
 		k.deliverSignals(t)
+	case hw.EvDDRUncorrectable:
+		// An uncorrectable DDR error is not survivable: CNK logs the RAS
+		// event and kills the job cleanly rather than risk silent data
+		// corruption. Recovery is the control system's job — for bringup,
+		// a reproducible reset and an identical re-run (contrast the FWK,
+		// which scrubs in place with jittery in-kernel recovery).
+		if k.Chip.Faults != nil {
+			k.Chip.Faults.Report(ras.JobKill, "cnk",
+				fmt.Sprintf("uncorrectable DDR error at va %#x, killing pid %d", uint64(va), t.PID()))
+		}
+		k.trace(k.Eng.Now(), fmt.Sprintf("uncorrectable DDR error at va %#x: killing pid %d", uint64(va), t.PID()))
+		k.exitThread(t, 128+int(kernel.SIGBUS))
 	default:
 		// Permission or guard fault.
 		t.PostSignal(kernel.SigInfo{Sig: kernel.SIGSEGV, Addr: va, Code: 2})
@@ -240,6 +254,21 @@ func (k *Kernel) Translate(t *kernel.Thread, va hw.VAddr, write bool) (hw.PAddr,
 		if e, ok := p.persistEntry(va); ok {
 			core.TLB.InsertPinned(e)
 			return e.Translate(va), uint64(e.Size) - uint64(va-e.VBase), e.Perms, kernel.OK
+		}
+		// A layout-covered address can only miss if hardware invalidated
+		// its entry (TLB parity): the static map is fully installed at
+		// launch and never evicted. CNK's recovery is a re-install from
+		// the map — cheap, deterministic, and logged to RAS.
+		for _, e := range p.Layout.TLBEntries(p.PID) {
+			if va >= e.VBase && uint64(va-e.VBase) < uint64(e.Size) {
+				t.Coro().Sleep(tlbReinstallCost)
+				core.TLB.InsertPinned(e)
+				if k.Chip.Faults != nil {
+					k.Chip.Faults.Report(ras.Recovery, "cnk",
+						fmt.Sprintf("reinstalled static TLB entry for va %#x after parity invalidation", uint64(va)))
+				}
+				return e.Translate(va), uint64(e.Size) - uint64(va-e.VBase), e.Perms, kernel.OK
+			}
 		}
 	}
 	return 0, 0, 0, kernel.EFAULT

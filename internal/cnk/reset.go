@@ -7,6 +7,22 @@ import (
 	"bgcnk/internal/sim"
 )
 
+// resetMagic is the Boot SRAM rendezvous stamp written by
+// PrepareReproducibleReset and checked on restart.
+const resetMagic = "CNK-REPRO-RESET"
+
+// ResetError reports a reproducible-restart protocol violation: the chip
+// was not taken through the Section III reset sequence before the restart
+// was attempted.
+type ResetError struct {
+	Chip   int
+	Reason string
+}
+
+func (e *ResetError) Error() string {
+	return fmt.Sprintf("cnk: chip %d cannot restart reproducibly: %s", e.Chip, e.Reason)
+}
+
 // PrepareReproducibleReset executes the paper's Section III protocol:
 // "CNK prepares for full reset by performing a barrier over all cores,
 // rendezvousing all cores in the Boot SRAM, flushing all levels of cache
@@ -21,13 +37,14 @@ func (k *Kernel) PrepareReproducibleReset(c *sim.Coro) {
 	k.trace(c.Now(), "reset: barrier over all cores")
 	c.Sleep(sim.Cycles(200 * len(k.Chip.Cores))) // core rendezvous
 	k.trace(c.Now(), "reset: cores rendezvoused in Boot SRAM")
-	copy(k.Chip.BootSRAM[:], "CNK-REPRO-RESET")
+	copy(k.Chip.BootSRAM[:], resetMagic)
 	k.Chip.Cache.FlushAll()
 	c.Sleep(3000) // cache flush to DDR
 	k.trace(c.Now(), "reset: caches flushed to DDR")
 	k.Chip.Mem.EnterSelfRefresh()
 	k.trace(c.Now(), "reset: DDR in self-refresh")
 	k.Chip.Reset()
+	k.Chip.Cache.ResetRefreshPhase(c.Now())
 	k.trace(c.Now(), "reset: toggled reset to all functional units")
 	k.booted = false
 }
@@ -37,8 +54,11 @@ func (k *Kernel) PrepareReproducibleReset(c *sim.Coro) {
 // so, rather than interacting with the service node, initializes all
 // functional units on the chip and takes the DDR out of self-refresh."
 func (k *Kernel) RestartReproducible() error {
-	if string(k.Chip.BootSRAM[:15]) != "CNK-REPRO-RESET" {
-		return fmt.Errorf("cnk: chip %d was not prepared for reproducible restart", k.Chip.ID)
+	if string(k.Chip.BootSRAM[:len(resetMagic)]) != resetMagic {
+		return &ResetError{Chip: k.Chip.ID, Reason: "Boot SRAM magic missing (reset protocol skipped)"}
+	}
+	if !k.Chip.Mem.InSelfRefresh() {
+		return &ResetError{Chip: k.Chip.ID, Reason: "DDR not in self-refresh; memory contents did not survive the reset"}
 	}
 	k.cfg.Reproducible = true
 	k.cfg.TraceSyscalls = true

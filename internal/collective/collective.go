@@ -9,12 +9,17 @@ import (
 	"fmt"
 	"sort"
 
+	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
 )
 
 // PacketBytes is the collective network packet payload size.
 const PacketBytes = 256
+
+// RetransBackoff is the base sender backoff after a CRC-corrupted
+// transfer; it doubles per consecutive corruption of the same transfer.
+const RetransBackoff = sim.Cycles(200)
 
 // Config sets the link cost model. Defaults approximate BG/P's tree:
 // ~0.85 GB/s per link and a few microseconds of tree latency.
@@ -63,8 +68,13 @@ type Endpoint struct {
 	// tree is built before the chips are wired to it).
 	upc *upc.UPC
 
+	// faults draws seeded link-CRC corruption for outgoing transfers;
+	// nil on a perfect machine.
+	faults *ras.NodeFaults
+
 	Sent, Received uint64
 	BytesSent      uint64
+	Retransmits    uint64
 }
 
 type waiter struct {
@@ -102,6 +112,10 @@ func (e *Endpoint) ID() int { return e.id }
 // AttachUPC routes this endpoint's traffic counters to a chip's UPC unit.
 func (e *Endpoint) AttachUPC(u *upc.UPC) { e.upc = u }
 
+// AttachFaults wires the owning node's seeded fault source into this
+// endpoint's outgoing link.
+func (e *Endpoint) AttachFaults(f *ras.NodeFaults) { e.faults = f }
+
 // sendCost computes serialization cycles for n bytes.
 func (e *Endpoint) sendCost(n int) sim.Cycles {
 	packets := (n + PacketBytes - 1) / PacketBytes
@@ -123,6 +137,24 @@ func (e *Endpoint) Send(to int, tag uint32, data []byte) {
 		dst = e.tree.ion
 	}
 	ser := e.sendCost(len(data))
+	if e.faults != nil {
+		// Link-level CRC: the receiver NAKs a corrupted transfer and the
+		// sender re-serializes it after an exponentially growing backoff.
+		// The whole protocol is charged on the link, keeping Send
+		// non-blocking (DMA-like), and counted so experiments can read
+		// the cost back out.
+		if n := e.faults.LinkRetransmits("collective"); n > 0 {
+			clean := ser
+			for a := 0; a < n; a++ {
+				ser += clean + (RetransBackoff << a)
+			}
+			e.Retransmits += uint64(n)
+			if e.upc != nil {
+				e.upc.Add(upc.ChipScope, upc.LinkCRC, uint64(n))
+				e.upc.Add(upc.ChipScope, upc.LinkRetransmit, uint64(n))
+			}
+		}
+	}
 	start := e.tree.eng.Now()
 	if e.busyUntil > start {
 		start = e.busyUntil
@@ -190,6 +222,35 @@ func (e *Endpoint) RecvTag(c *sim.Coro, tag uint32) Message {
 		e.waiters = append(e.waiters, waiter{coro: c, tag: tag})
 		c.Park(sim.Forever)
 		e.removeWaiter(c)
+	}
+}
+
+// RecvTagTimeout is RecvTag with a deadline: it returns ok=false if no
+// message with the tag arrives within timeout cycles. A timeout of
+// sim.Forever behaves exactly like RecvTag (and schedules no timer event,
+// so fault-free runs are unchanged to the cycle).
+func (e *Endpoint) RecvTagTimeout(c *sim.Coro, tag uint32, timeout sim.Cycles) (Message, bool) {
+	if timeout >= sim.Forever {
+		return e.RecvTag(c, tag), true
+	}
+	deadline := e.tree.eng.Now() + timeout
+	for {
+		if m, ok := e.take(tag, false); ok {
+			return m, true
+		}
+		now := e.tree.eng.Now()
+		if now >= deadline {
+			return Message{}, false
+		}
+		e.waiters = append(e.waiters, waiter{coro: c, tag: tag})
+		r := c.Park(deadline - now)
+		e.removeWaiter(c)
+		if r == sim.WakeTimeout {
+			if m, ok := e.take(tag, false); ok {
+				return m, true
+			}
+			return Message{}, false
+		}
 	}
 }
 

@@ -69,11 +69,12 @@ var Registry = map[string]Runner{
 	"table3":    RunTable3,
 	"boot":      RunBoot,
 	"repro":     RunRepro,
+	"faults":    RunFaults,
 	"ablations": RunAblations,
 }
 
 // Order lists the artifacts in paper order.
-var Order = []string{"fig5-7", "table1", "fig8", "linpack", "allreduce", "table2", "table3", "boot", "repro", "ablations"}
+var Order = []string{"fig5-7", "table1", "fig8", "linpack", "allreduce", "table2", "table3", "boot", "repro", "faults", "ablations"}
 
 // RunAll executes every experiment in paper order.
 func RunAll(opt Options) ([]*Result, error) {

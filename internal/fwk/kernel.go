@@ -13,6 +13,7 @@ import (
 	"bgcnk/internal/fs"
 	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
+	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 )
 
@@ -26,6 +27,8 @@ const (
 	ctxSwitchCost  = sim.Cycles(1200)    // full context switch
 	bootFullInstr  = 15_000_000          // full distro boot (weeks at 10 Hz VHDL)
 	bootStripInstr = 2_500_000           // stripped-down boot (days at 10 Hz)
+	fwkScrubBase   = sim.Cycles(40_000)  // DDR scrub-and-remap floor
+	fwkScrubJitter = sim.Cycles(120_000) // allocator-state-dependent spread
 )
 
 // DaemonSpec describes one background kernel daemon: which core it is
@@ -217,6 +220,20 @@ func (k *Kernel) MemEvent(t *kernel.Thread, ev hw.MemEvent, va hw.VAddr, write b
 	case hw.EvL1Parity:
 		k.Eng.Trace().Record(k.Eng.Now(), k.tag(), "machine check: killing task")
 		k.exitThread(t, 128+int(kernel.SIGKILL))
+	case hw.EvDDRUncorrectable:
+		// The full-weight kernel absorbs the error in place: an in-kernel
+		// scrub-and-remap pass whose length depends on allocator state,
+		// modelled as kernel-RNG jitter. The task keeps running — at the
+		// cost of an unpredictable stall that widens OS noise, and a run
+		// that can never be replayed cycle-for-cycle.
+		scrub := fwkScrubBase + k.rng.Cycles(fwkScrubJitter)
+		k.Eng.Trace().Record(k.Eng.Now(), k.tag(),
+			fmt.Sprintf("machine check: DDR scrub-and-remap, %d cycle stall", scrub))
+		if k.Chip.Faults != nil {
+			k.Chip.Faults.Report(ras.Recovery, "fwk",
+				fmt.Sprintf("scrubbed uncorrectable DDR error at va %#x in place", uint64(va)))
+		}
+		t.Coro().Sleep(scrub)
 	default:
 		t.PostSignal(kernel.SigInfo{Sig: kernel.SIGSEGV, Addr: va, Code: 2})
 		k.deliverSignals(t)

@@ -1,6 +1,7 @@
 package hw
 
 import (
+	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
 )
@@ -18,6 +19,7 @@ const (
 	CostStoreMiss = 2    // store-queue throttle for a write-through L1 store miss
 	RefreshInt    = 6630 // DRAM refresh interval: 7.8us at 850MHz
 	RefreshLen    = 94   // DRAM busy per refresh: ~110ns
+	CostECCFix    = 28   // extra stall while ECC corrects a single-bit error
 )
 
 // MemEvent is an exceptional condition raised by a memory access.
@@ -30,6 +32,11 @@ const (
 	// the application for recovery (paper Section V-B, the Gordon Bell
 	// "Kelvin-Helmholtz" run); an FWK typically panics or kills the task.
 	EvL1Parity
+	// EvDDRUncorrectable is a multi-bit DDR error ECC cannot repair: the
+	// data is gone. CNK logs the RAS event and kills the job cleanly (the
+	// chip is then recoverable via the reproducible-reset path); an FWK
+	// scrubs and presses on in-kernel.
+	EvDDRUncorrectable
 )
 
 type cacheSet struct {
@@ -112,9 +119,18 @@ type CacheSim struct {
 	// report EvL1Parity (soft-error injection for the recovery tests).
 	parityArm []bool
 
+	// faults, when attached, draws a seeded soft-error for every DDR fill
+	// (the seeded RAS injector; nil on a perfect machine).
+	faults *ras.NodeFaults
+
 	// upc routes hit/miss counts to the owning chip's UPC unit; nil for
 	// standalone CacheSims in unit tests.
 	upc *upc.UPC
+
+	// refreshBase is when the DRAM controller's refresh timer last
+	// (re)started; reproducible resets restart it so replayed runs see
+	// refresh windows at the same run-relative offsets.
+	refreshBase sim.Cycles
 
 	L1Hits, L1Misses   []uint64
 	StoreMisses        []uint64
@@ -218,9 +234,25 @@ func (cs *CacheSim) Access(core int, pa PAddr, size uint32, write bool, now sim.
 			u.Inc(upc.ChipScope, upc.L3Miss)
 		}
 		c := sim.Cycles(CostDDR)
+		if cs.faults != nil {
+			if unc, corr := cs.faults.DDRAccess(); unc {
+				if ev == EvNone {
+					ev = EvDDRUncorrectable
+				}
+				if u != nil {
+					u.Inc(upc.ChipScope, upc.RASUncorrectable)
+				}
+			} else if corr {
+				// ECC repairs the word in place; the fill just stalls.
+				c += CostECCFix
+				if u != nil {
+					u.Inc(upc.ChipScope, upc.RASCorrectable)
+				}
+			}
+		}
 		// DDR refresh: if the access lands in the refresh window it
 		// stalls for the remainder of the window.
-		phase := uint64(now+cost) % RefreshInt
+		phase := uint64(now+cost-cs.refreshBase) % RefreshInt
 		if phase < RefreshLen {
 			stall := sim.Cycles(RefreshLen - phase)
 			c += stall
@@ -234,6 +266,12 @@ func (cs *CacheSim) Access(core int, pa PAddr, size uint32, write bool, now sim.
 	}
 	return cost, ev
 }
+
+// ResetRefreshPhase restarts the DRAM refresh timer at now, as toggling
+// reset to the memory controller does on the real part. The timer is not
+// architectural state: Chip.Reset leaves it alone, and the kernel's
+// reset protocol restamps it at the reset instant.
+func (cs *CacheSim) ResetRefreshPhase(now sim.Cycles) { cs.refreshBase = now }
 
 // FlushAll writes back and invalidates every level, as CNK does before
 // putting DDR in self-refresh for a reproducible reset.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
 )
@@ -100,6 +101,12 @@ type Chip struct {
 	// reproducible-reset protocol; its contents survive reset.
 	BootSRAM [4096]byte
 
+	// Faults is this node's seeded fault source (nil on a perfect
+	// machine). It lives outside the chip's architectural state: a chip
+	// Reset does not touch it, so a recovery reboot faces whatever
+	// schedule the injector dictates.
+	Faults *ras.NodeFaults
+
 	units       [numUnits]bool
 	Resets      int        // number of chip resets since construction
 	Scanned     bool       // a destructive logic scan has been taken
@@ -136,6 +143,17 @@ func NewChip(cfg ChipConfig) *Chip {
 		ch.units[u] = true
 	}
 	return ch
+}
+
+// AttachFaults wires the node's seeded fault source into every injection
+// point on the chip: DDR fills in the cache model and per-core TLB
+// lookups. Call once, before the kernel boots.
+func (ch *Chip) AttachFaults(f *ras.NodeFaults) {
+	ch.Faults = f
+	ch.Cache.faults = f
+	for _, c := range ch.Cores {
+		c.TLB.faults = f
+	}
 }
 
 // UnitEnabled reports whether a functional unit works on this chip.

@@ -3,6 +3,7 @@ package hw
 import (
 	"fmt"
 
+	"bgcnk/internal/ras"
 	"bgcnk/internal/upc"
 )
 
@@ -46,6 +47,10 @@ type TLB struct {
 	upc    *upc.UPC
 	coreID int
 
+	// faults draws seeded parity errors on matched entries; nil on a
+	// perfect machine.
+	faults *ras.NodeFaults
+
 	Hits   uint64
 	Misses uint64
 }
@@ -74,6 +79,14 @@ func (t *TLB) Lookup(pid uint32, va VAddr) (PAddr, Perm, bool) {
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.Covers(pid, va) {
+			if t.faults != nil && t.faults.TLBParity() {
+				// Parity error on the matched entry: the hardware
+				// invalidates it and the lookup misses; the kernel's
+				// refill path is the recovery (re-install from the static
+				// map under CNK, software refill under an FWK).
+				t.entries[i] = TLBEntry{}
+				break
+			}
 			t.Hits++
 			if t.upc != nil {
 				t.upc.Inc(t.coreID, upc.TLBHit)

@@ -17,6 +17,7 @@ import (
 	"bgcnk/internal/fwk"
 	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
+	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/torus"
 	"bgcnk/internal/upc"
@@ -56,6 +57,12 @@ type Config struct {
 
 	// CNsPerION sets the I/O ratio (default: all CNs share one ION).
 	CNsPerION int
+
+	// Faults, when non-nil and enabled, arms the machine-wide seeded
+	// fault injector: DDR ECC, TLB parity, link CRC, and CIOD failures
+	// all draw from per-node streams derived from Faults.Seed, so a
+	// given plan yields a bit-identical fault schedule on every run.
+	Faults *ras.Plan
 }
 
 // Machine is the assembled system.
@@ -78,6 +85,11 @@ type Machine struct {
 	// Comb is the collective combining-tree route (CNK machines only).
 	Comb *collective.Combine
 
+	// RAS is the machine-wide reliability event log; nil unless
+	// Cfg.Faults is armed.
+	RAS *ras.Log
+
+	inj  *ras.Injector
 	jobs []doneable
 }
 
@@ -90,6 +102,11 @@ func New(cfg Config) (*Machine, error) {
 		cfg.CNsPerION = cfg.Nodes
 	}
 	m := &Machine{Eng: sim.NewEngine(), Cfg: cfg}
+	if cfg.Faults.Enabled() {
+		m.RAS = ras.NewLog()
+		m.RAS.AttachTrace(m.Eng.Trace())
+		m.inj = ras.NewInjector(m.Eng, m.RAS, *cfg.Faults)
+	}
 	m.Torus = torus.New(m.Eng, torus.DefaultConfig(torus.Coord{cfg.Nodes, 1, 1}))
 	m.Bar = barrier.New(m.Eng, cfg.Nodes, 0)
 	if cfg.Kind == KindCNK {
@@ -99,6 +116,9 @@ func New(cfg Config) (*Machine, error) {
 
 	for n := 0; n < cfg.Nodes; n++ {
 		chip := hw.NewChip(hw.ChipConfig{ID: n, MemSize: cfg.MemSize, Coord: [3]int{n, 0, 0}})
+		if m.inj != nil {
+			chip.AttachFaults(m.inj.Node(n))
+		}
 		m.Chips = append(m.Chips, chip)
 		if m.Comb != nil {
 			m.Comb.AttachUPC(n, chip.UPC)
@@ -121,13 +141,24 @@ func New(cfg Config) (*Machine, error) {
 		tree := collective.NewTree(m.Eng, collective.DefaultConfig(), ids)
 		for _, id := range ids {
 			tree.CN(id).AttachUPC(m.Chips[id].UPC)
+			if m.inj != nil {
+				tree.CN(id).AttachFaults(m.inj.Node(id))
+			}
 		}
 		ionFS := fs.New()
 		ionFS.MustMkdirAll("/gpfs")
 		ionFS.MustMkdirAll("/lib")
 		m.Trees = append(m.Trees, tree)
 		m.IONFS = append(m.IONFS, ionFS)
-		m.Servers = append(m.Servers, ciod.NewServer(m.Eng, tree.ION(), ionFS))
+		srv := ciod.NewServer(m.Eng, tree.ION(), ionFS)
+		if m.inj != nil {
+			// I/O nodes get their own fault streams, keyed below the
+			// compute-node ID space.
+			ionF := m.inj.Node(-1 - len(m.Servers))
+			tree.ION().AttachFaults(ionF)
+			srv.SetFaults(ionF, cfg.Faults.RestartDelay())
+		}
+		m.Servers = append(m.Servers, srv)
 	}
 
 	for n := 0; n < cfg.Nodes; n++ {
@@ -137,6 +168,14 @@ func New(cfg Config) (*Machine, error) {
 		case KindCNK:
 			io := ciod.NewClient(m.Trees[treeIdx].CN(n))
 			io.AttachUPC(chip.UPC)
+			if m.inj != nil {
+				// With a fallible I/O path the blocking protocol would
+				// hang forever on one lost reply; arm timeouts and
+				// bounded retries wide enough to ride out a CIOD
+				// crash+restart.
+				io.SetRetryPolicy(ciod.DefaultRetryPolicy())
+				io.AttachFaults(m.inj.Node(n))
+			}
 			k := cnk.New(m.Eng, chip, cnk.Config{
 				MaxThreadsPerCore: cfg.MaxThreadsPerCore,
 				Reproducible:      cfg.Reproducible,
@@ -275,6 +314,40 @@ func (m *Machine) Run(app App, params kernel.JobParams, limit sim.Cycles) error 
 		}
 	}
 	return nil
+}
+
+// ResetFaults rewinds every node's fault streams to the start of the
+// seeded schedule, part of the reproducible-reset protocol: a recovery
+// reboot must face the identical fault sequence the failed run did.
+func (m *Machine) ResetFaults() {
+	if m.inj != nil {
+		m.inj.Reset()
+	}
+}
+
+// ClearJobs forgets finished (or killed) jobs so a recovery relaunch
+// starts from a clean slate.
+func (m *Machine) ClearJobs() { m.jobs = nil }
+
+// ExitCodes returns the exit code of each launched job's first process,
+// in launch order; unfinished jobs report -1.
+func (m *Machine) ExitCodes() []int {
+	out := make([]int, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		code := -1
+		switch job := j.(type) {
+		case *cnk.Job:
+			if job.Done() && len(job.Procs) > 0 {
+				code = job.Procs[0].ExitCode()
+			}
+		case *fwk.Job:
+			if job.Done() && len(job.Procs) > 0 {
+				code = job.Procs[0].ExitCode()
+			}
+		}
+		out = append(out, code)
+	}
+	return out
 }
 
 // JobsDone reports whether every launched job has exited.

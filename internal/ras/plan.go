@@ -1,0 +1,232 @@
+package ras
+
+import "bgcnk/internal/sim"
+
+// maxLinkRetrans bounds consecutive CRC corruptions of one transfer so a
+// pathological plan cannot stall a link forever.
+const maxLinkRetrans = 8
+
+// defaultRestartDelay is how long a crashed CIOD takes to respawn when the
+// plan does not say.
+const defaultRestartDelay = sim.Cycles(100_000)
+
+// Plan configures the fault injector. Every field is a probability per
+// opportunity (one DDR fill, one TLB lookup, one link transfer, one CIOD
+// reply) except the crash cadence. The zero value injects nothing.
+type Plan struct {
+	// Seed determines the entire fault schedule. Two machines built from
+	// equal plans draw bit-identical faults.
+	Seed uint64
+
+	DDRCorrectable   float64 // single-bit ECC per DDR (L3-miss) fill
+	DDRUncorrectable float64 // multi-bit ECC per DDR fill
+	TLBParity        float64 // parity per TLB lookup that matched an entry
+	LinkCRC          float64 // CRC corruption per link transfer attempt
+	CIODDrop         float64 // reply loss per CIOD reply
+
+	// CIODCrashEvery crashes the daemon after every N served calls
+	// (0 = never); it restarts CIODRestartDelay cycles later with all
+	// ioproxy state lost.
+	CIODCrashEvery   uint64
+	CIODRestartDelay sim.Cycles
+}
+
+// Enabled reports whether the plan injects anything.
+func (p *Plan) Enabled() bool {
+	return p != nil && (p.DDRCorrectable > 0 || p.DDRUncorrectable > 0 ||
+		p.TLBParity > 0 || p.LinkCRC > 0 || p.CIODDrop > 0 || p.CIODCrashEvery > 0)
+}
+
+// RestartDelay returns the CIOD respawn time, defaulted.
+func (p *Plan) RestartDelay() sim.Cycles {
+	if p.CIODRestartDelay > 0 {
+		return p.CIODRestartDelay
+	}
+	return defaultRestartDelay
+}
+
+// DefaultPlan returns a moderate all-classes plan for the CLI and the
+// stability-under-fault experiment: enough activity to populate every
+// counter over a quick LINPACK run without drowning the machine.
+func DefaultPlan(seed uint64) *Plan {
+	return &Plan{
+		Seed:             seed,
+		DDRCorrectable:   2e-4,
+		DDRUncorrectable: 2e-6,
+		TLBParity:        1e-6,
+		LinkCRC:          1e-2,
+		CIODDrop:         0.1,
+		CIODCrashEvery:   300,
+		CIODRestartDelay: defaultRestartDelay,
+	}
+}
+
+// Injector owns the machine's fault streams. All draws come from sim.RNG
+// children derived purely from (plan seed, node, site), so stream creation
+// order cannot perturb the schedule and Reset can rewind it exactly — a
+// reproducible restart replays the same faults (fault localization, paper
+// Section III).
+type Injector struct {
+	eng   *sim.Engine
+	log   *Log
+	plan  Plan
+	nodes map[int]*NodeFaults
+}
+
+// NewInjector builds the injector for one machine.
+func NewInjector(eng *sim.Engine, log *Log, plan Plan) *Injector {
+	return &Injector{eng: eng, log: log, plan: plan, nodes: make(map[int]*NodeFaults)}
+}
+
+// Plan returns the configured plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Log returns the injector's RAS log.
+func (in *Injector) Log() *Log { return in.log }
+
+// Per-node fault sites, each with a private RNG stream.
+const (
+	siteDDR = iota
+	siteTLB
+	siteLink
+	siteCIOD
+	numSites
+)
+
+// stream derives the (node, site) generator independent of creation order.
+func (in *Injector) stream(node int, site uint64) *sim.RNG {
+	return sim.NewRNG(in.plan.Seed ^ 0x5a17c0de5eed1234).
+		Fork(uint64(int64(node))*numSites + site)
+}
+
+// Node returns node n's fault source, creating it on first use. I/O nodes
+// conventionally use negative IDs (-1-treeIndex) so their streams never
+// collide with compute nodes'.
+func (in *Injector) Node(n int) *NodeFaults {
+	if f, ok := in.nodes[n]; ok {
+		return f
+	}
+	f := &NodeFaults{in: in, node: n}
+	f.rewind()
+	in.nodes[n] = f
+	return f
+}
+
+// Reset rewinds every node's streams and crash counters to their initial
+// state, replaying the schedule from the top. The reproducible-reset
+// recovery path calls this so a restarted run faces the identical fault
+// schedule the interrupted run did.
+func (in *Injector) Reset() {
+	for _, f := range in.nodes {
+		f.rewind()
+	}
+}
+
+// NodeFaults is one node's view of the injector: per-site RNG streams plus
+// the CIOD crash countdown (I/O-node side).
+type NodeFaults struct {
+	in   *Injector
+	node int
+
+	ddr, tlb, link, ciod *sim.RNG
+	served               uint64
+}
+
+func (f *NodeFaults) rewind() {
+	f.ddr = f.in.stream(f.node, siteDDR)
+	f.tlb = f.in.stream(f.node, siteTLB)
+	f.link = f.in.stream(f.node, siteLink)
+	f.ciod = f.in.stream(f.node, siteCIOD)
+	f.served = 0
+}
+
+func (f *NodeFaults) report(class Class, comp, detail string) {
+	f.in.log.Append(Event{
+		At: f.in.eng.Now(), Node: f.node, Comp: comp, Class: class, Detail: detail,
+	})
+}
+
+// Report records a reaction event observed by a kernel or client
+// (JobKill, Recovery, CIODGiveUp) against this node.
+func (f *NodeFaults) Report(class Class, comp, detail string) {
+	f.report(class, comp, detail)
+}
+
+// DDRAccess draws one DDR-fill fault. At most one of the results is true;
+// the event is logged here so every consumer charges consistently.
+func (f *NodeFaults) DDRAccess() (uncorrectable, correctable bool) {
+	p := &f.in.plan
+	if p.DDRUncorrectable <= 0 && p.DDRCorrectable <= 0 {
+		return false, false
+	}
+	v := f.ddr.Float64()
+	switch {
+	case v < p.DDRUncorrectable:
+		f.report(UncorrectableECC, "ddr", "multi-bit ECC error on L3-miss fill")
+		return true, false
+	case v < p.DDRUncorrectable+p.DDRCorrectable:
+		f.report(CorrectableECC, "ddr", "single-bit error corrected by ECC")
+		return false, true
+	}
+	return false, false
+}
+
+// TLBParity draws one lookup's parity fault.
+func (f *NodeFaults) TLBParity() bool {
+	if f.in.plan.TLBParity <= 0 {
+		return false
+	}
+	if f.tlb.Float64() < f.in.plan.TLBParity {
+		f.report(TLBParity, "tlb", "parity error on matched entry, invalidated")
+		return true
+	}
+	return false
+}
+
+// LinkRetransmits draws how many consecutive CRC-corrupted attempts one
+// link transfer suffers before going through clean (geometric, bounded).
+// Each corrupted attempt is logged; the caller charges the retransmit and
+// backoff cycles.
+func (f *NodeFaults) LinkRetransmits(comp string) int {
+	p := f.in.plan.LinkCRC
+	if p <= 0 {
+		return 0
+	}
+	n := 0
+	for n < maxLinkRetrans && f.link.Float64() < p {
+		n++
+		f.report(LinkCRC, comp, "packet CRC mismatch, sender retransmitting")
+	}
+	return n
+}
+
+// ReplyDrop draws whether one CIOD reply is lost on the tree.
+func (f *NodeFaults) ReplyDrop() bool {
+	if f.in.plan.CIODDrop <= 0 {
+		return false
+	}
+	if f.ciod.Float64() < f.in.plan.CIODDrop {
+		f.report(CIODDrop, "ciod", "reply lost on collective tree")
+		return true
+	}
+	return false
+}
+
+// CrashDue counts one served CIOD call and reports whether the daemon
+// crashes after it.
+func (f *NodeFaults) CrashDue() bool {
+	every := f.in.plan.CIODCrashEvery
+	if every == 0 {
+		return false
+	}
+	f.served++
+	if f.served >= every {
+		f.served = 0
+		f.report(CIODCrash, "ciod", "daemon crashed, ioproxy state lost")
+		return true
+	}
+	return false
+}
+
+// RestartDelay returns the daemon respawn time from the plan.
+func (f *NodeFaults) RestartDelay() sim.Cycles { return f.in.plan.RestartDelay() }

@@ -197,6 +197,38 @@ func (i *Interface) Coord() Coord { return i.coord }
 // Chip returns the attached chip.
 func (i *Interface) Chip() *hw.Chip { return i.chip }
 
+// retransBackoff is the base sender backoff after a CRC-corrupted torus
+// transfer; it doubles per consecutive corruption.
+const retransBackoff = sim.Cycles(170)
+
+// retransPenalty draws this transfer's seeded CRC corruptions (if the
+// chip has a fault source attached) and returns the extra link time:
+// each corrupted attempt re-serializes the transfer after an
+// exponentially growing backoff, counted in the UPC unit.
+func (i *Interface) retransPenalty(bytes int) sim.Cycles {
+	f := i.chip.Faults
+	if f == nil {
+		return 0
+	}
+	n := f.LinkRetransmits("torus")
+	if n == 0 {
+		return 0
+	}
+	packets := (bytes + PacketBytes - 1) / PacketBytes
+	if packets == 0 {
+		packets = 1
+	}
+	ser := sim.Cycles(float64(bytes)*i.net.cfg.CyclesPerByte) + sim.Cycles(packets)*i.net.cfg.PerPacket
+	var extra sim.Cycles
+	for a := 0; a < n; a++ {
+		extra += ser + (retransBackoff << a)
+	}
+	u := i.chip.UPC
+	u.Add(upc.ChipScope, upc.LinkCRC, uint64(n))
+	u.Add(upc.ChipScope, upc.LinkRetransmit, uint64(n))
+	return extra
+}
+
 func (i *Interface) requireUnits() {
 	if !i.chip.UnitEnabled(hw.UnitTorus) {
 		panic(fmt.Sprintf("torus: torus unit broken on chip %d", i.chip.ID))
@@ -214,7 +246,7 @@ func (i *Interface) SendPacket(dst Coord, tag uint32, kind uint8, payload []byte
 	if len(payload) > PacketBytes {
 		panic("torus: active-message payload exceeds one packet; use Put")
 	}
-	done := i.net.transferDone(i.coord, dst, len(payload))
+	done := i.net.transferDone(i.coord, dst, len(payload)) + i.retransPenalty(len(payload))
 	p := Packet{From: i.coord, Tag: tag, Kind: kind, Payload: append([]byte(nil), payload...)}
 	i.PacketsSent++
 	u := i.chip.UPC
@@ -300,7 +332,8 @@ func (i *Interface) Put(dst Coord, src, dstRanges []PhysRange, onDone func()) si
 		data = append(data, b...)
 	}
 	descCost := sim.Cycles(uint64(len(src))) * i.net.cfg.PerDescriptor
-	done := i.net.transferDone(i.coord, dst, int(total)) + descCost + i.net.cfg.RecvOverhead
+	done := i.net.transferDone(i.coord, dst, int(total)) + descCost +
+		i.net.cfg.RecvOverhead + i.retransPenalty(int(total))
 	i.Descriptors += uint64(len(src))
 	i.BytesPut += total
 	u := i.chip.UPC
@@ -326,7 +359,7 @@ func (i *Interface) Put(dst Coord, src, dstRanges []PhysRange, onDone func()) si
 func (i *Interface) Get(dst Coord, remote, local []PhysRange, onDone func()) {
 	i.requireUnits()
 	target := i.net.At(dst)
-	reqDone := i.net.transferDone(i.coord, dst, 16) // request descriptor packet
+	reqDone := i.net.transferDone(i.coord, dst, 16) + i.retransPenalty(16) // request descriptor packet
 	i.Descriptors++
 	i.chip.UPC.Inc(upc.ChipScope, upc.DMADescriptor)
 	i.chip.UPC.Trace.Emit(upc.EvDMAInject, upc.ChipScope, i.net.eng.Now(), 16)

@@ -79,6 +79,13 @@ const (
 	CollPacket    // chip: collective-network packets sent
 	CollBytes     // chip
 	CombineOp     // chip: combining-tree allreduce operations
+	// RAS and recovery (all chip-scoped; zero on fault-free runs).
+	LinkCRC          // chip: link transfer attempts corrupted by CRC faults
+	LinkRetransmit   // chip: sender-side retransmissions
+	CIODTimeout      // chip: function-ship replies that timed out
+	CIODRetry        // chip: function-ship resends after timeout
+	RASCorrectable   // chip: DDR ECC single-bit corrections
+	RASUncorrectable // chip: DDR ECC uncorrectable errors
 
 	NumCounters
 )
@@ -95,6 +102,8 @@ var counterNames = [NumCounters]string{
 	"futex_wait", "futex_wake",
 	"function_ship", "dma_descriptor", "torus_packet", "torus_bytes",
 	"coll_packet", "coll_bytes", "combine_op",
+	"link_crc", "link_retransmit", "ciod_timeout", "ciod_retry",
+	"ras_correctable", "ras_uncorrectable",
 }
 
 func (c Counter) String() string {

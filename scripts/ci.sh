@@ -22,6 +22,12 @@ go test -race ./...
 echo "== fuzz seed-corpus regressions"
 go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/
 
+# The fault matrix is part of the -race suite above, but gate on it
+# explicitly: per-class fault determinism and the recovery-under-fault
+# replay are the RAS layer's contract.
+echo "== fault matrix"
+go test -run 'TestFaultMatrix|TestRecoveryUnderFaultDeterminism|TestFaultsOffChangesNothing|TestCIODRetryExhaustionSurfacesEIO|TestCIODCrashRecovery' ./internal/machine/
+
 if [ "$FUZZTIME" != "0" ]; then
 	echo "== live fuzzing ($FUZZTIME per target)"
 	go test -fuzz=FuzzFS -fuzztime="$FUZZTIME" ./internal/fs/
