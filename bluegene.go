@@ -19,6 +19,7 @@ package bluegene
 import (
 	"fmt"
 
+	"bgcnk/internal/ctrlsys"
 	"bgcnk/internal/experiments"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/machine"
@@ -159,3 +160,56 @@ func Experiment(id string, quick bool) (*ExperimentResult, error) {
 func AllExperiments(quick bool) ([]*ExperimentResult, error) {
 	return experiments.RunAll(experiments.Options{Quick: quick})
 }
+
+// ---- Control system ----
+//
+// The control system models the service node that owns the machine's
+// rack/midplane hierarchy: it allocates isolated partitions, boots them
+// (CNK by collective-network broadcast, FWK by staggered per-node image
+// loads), and drains a job queue across partitions — in parallel on a
+// worker pool, with results bit-identical to a serial drain.
+
+// Topology is the machine hierarchy the service node manages.
+type Topology = ctrlsys.Topology
+
+// ControlConfig configures a service node.
+type ControlConfig = ctrlsys.Config
+
+// ServiceNode allocates, boots and drains partitions.
+type ServiceNode = ctrlsys.ServiceNode
+
+// ControlPartition is one isolated block of midplanes.
+type ControlPartition = ctrlsys.Partition
+
+// Personality is the per-node boot record delivered with the kernel image.
+type Personality = ctrlsys.Personality
+
+// ControlJob is one queued job submission.
+type ControlJob = ctrlsys.Job
+
+// ControlJobResult is one drained job's outcome.
+type ControlJobResult = ctrlsys.JobResult
+
+// DrainResult is a fully drained job queue with its schedule and merged
+// counters/RAS streams.
+type DrainResult = ctrlsys.DrainResult
+
+// BootConfig parameterizes one partition boot-protocol simulation.
+type BootConfig = ctrlsys.BootConfig
+
+// BootResult is the modelled boot-protocol cost, by phase.
+type BootResult = ctrlsys.BootResult
+
+// DefaultTopology is a small two-rack system.
+func DefaultTopology() Topology { return ctrlsys.DefaultTopology() }
+
+// NewServiceNode builds a service node over cfg's topology.
+func NewServiceNode(cfg ControlConfig) *ServiceNode { return ctrlsys.New(cfg) }
+
+// GenerateControlJobs draws a seeded stream of n job submissions.
+func GenerateControlJobs(seed uint64, n, maxMidplanes int) []ControlJob {
+	return ctrlsys.GenerateJobs(seed, n, maxMidplanes)
+}
+
+// SimulateBoot runs the boot-protocol model for one partition.
+func SimulateBoot(cfg BootConfig) BootResult { return ctrlsys.SimulateBoot(cfg) }

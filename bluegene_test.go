@@ -38,9 +38,31 @@ func TestFacadeFWK(t *testing.T) {
 	}
 }
 
+func TestFacadeControlSystem(t *testing.T) {
+	cfg := ControlConfig{
+		Topology: Topology{Racks: 1, MidplanesPerRack: 2, NodesPerMidplane: 2},
+		Kind:     CNK,
+		Seed:     5,
+		Workers:  2,
+	}
+	jobs := GenerateControlJobs(cfg.Seed, 4, cfg.Topology.Midplanes())
+	d, err := NewServiceNode(cfg).Drain(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Failures != 0 || len(d.Results) != 4 {
+		t.Fatalf("failures=%d results=%d", d.Failures, len(d.Results))
+	}
+	cnk := SimulateBoot(BootConfig{Kind: CNK, Nodes: 512, NodesPerMidplane: 32})
+	fwk := SimulateBoot(BootConfig{Kind: FWK, Nodes: 512, NodesPerMidplane: 32})
+	if fwk.Total <= cnk.Total {
+		t.Fatalf("FWK boot %v not slower than CNK %v", fwk.Total, cnk.Total)
+	}
+}
+
 func TestExperimentRegistryAccessible(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 11 {
+	if len(ids) != 12 {
 		t.Fatalf("experiments: %v", ids)
 	}
 	if _, err := Experiment("no-such", true); err == nil {

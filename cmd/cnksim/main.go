@@ -6,6 +6,12 @@
 //	go run ./cmd/cnksim -kernel fwk -workload fwq -samples 2000 -seed 7
 //	go run ./cmd/cnksim -kernel cnk -nodes 8 -workload allreduce
 //	go run ./cmd/cnksim -kernel cnk -workload linpack -faults 42 -ras
+//
+// With -jobs the simulator switches to control-system mode: a service
+// node over -partitions midplanes (of -nodes compute nodes each) drains
+// a seeded queue of job submissions on -workers parallel workers:
+//
+//	go run ./cmd/cnksim -kernel cnk -partitions 4 -nodes 2 -jobs 50 -workers 4
 package main
 
 import (
@@ -31,6 +37,9 @@ func main() {
 	counters := flag.String("counters", "", "print UPC counters after the run: text or json")
 	faults := flag.Uint64("faults", 0, "arm the seeded fault injector with this fault seed (0 = perfect machine)")
 	rasDump := flag.Bool("ras", false, "print the RAS event log after the run")
+	partitions := flag.Int("partitions", 4, "control-system mode: midplanes in the machine")
+	jobs := flag.Int("jobs", 0, "control-system mode: drain this many queued jobs (0 = run -workload instead)")
+	workers := flag.Int("workers", 1, "control-system mode: parallel partition workers")
 	flag.Parse()
 
 	if *counters != "" && *counters != "text" && *counters != "json" {
@@ -41,6 +50,11 @@ func main() {
 	kind := bluegene.CNK
 	if *kernelName == "fwk" {
 		kind = bluegene.FWK
+	}
+
+	if *jobs > 0 {
+		runControl(kind, *partitions, *nodes, *jobs, *workers, *seed, *faults)
+		return
 	}
 	mcfg := bluegene.MachineConfig{Nodes: *nodes, Kernel: kind, Seed: *seed}
 	if *faults != 0 {
@@ -126,6 +140,47 @@ func main() {
 func report(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runControl drains a seeded job queue through the control system: a
+// service node over `partitions` midplanes of `nodesPerMidplane` compute
+// nodes, `workers` partition simulations in flight at once.
+func runControl(kind bluegene.KernelKind, partitions, nodesPerMidplane, jobs, workers int, seed, faults uint64) {
+	cfg := bluegene.ControlConfig{
+		Topology: bluegene.Topology{Racks: 1, MidplanesPerRack: partitions, NodesPerMidplane: nodesPerMidplane},
+		Kind:     kind,
+		Seed:     seed,
+		Workers:  workers,
+	}
+	if faults != 0 {
+		cfg.Faults = bluegene.DefaultFaultPlan(faults)
+	}
+	s := bluegene.NewServiceNode(cfg)
+	queue := bluegene.GenerateControlJobs(seed, jobs, partitions)
+	d, err := s.Drain(queue)
+	report(err)
+
+	boot := d.Results[0].Boot
+	fmt.Printf("control system: %d midplanes x %d nodes, %d workers, seed %d\n",
+		partitions, nodesPerMidplane, workers, seed)
+	fmt.Printf("partition boot (%d nodes): image %.3f ms + per-node %.3f ms + init %.3f ms = %.3f ms\n",
+		boot.Nodes, boot.ImagePhase.Seconds()*1e3, boot.PerNodePhase.Seconds()*1e3,
+		boot.InitPhase.Seconds()*1e3, boot.Total.Seconds()*1e3)
+	fmt.Printf("drained %d jobs in %.3f s simulated (%.2f jobs/s), %d backfilled, utilization %.1f%%\n",
+		len(d.Results), d.Sched.Makespan.Seconds(), d.JobsPerSecond(),
+		d.Sched.Backfilled, d.Sched.Utilization*100)
+	// No host wall-clock here: cnksim output is byte-identical across
+	// reruns (ctrlbench is the wall-clock reporting tool).
+	fmt.Printf("%d failures, %d RAS events, drain signature %016x\n",
+		d.Failures, d.RASEvents, d.Signature())
+	if d.Failures > 0 {
+		for _, r := range d.Results {
+			if r.Failed() {
+				fmt.Printf("  job %d (%s): err=%q exits=%v\n", r.Job.ID, r.Job.Name, r.Err, r.ExitCodes)
+			}
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,133 @@
+// Command ctrlbench measures the control-system subsystem and writes a
+// machine-readable benchmark report (BENCH_ctrlsys.json by default):
+// modelled boot times vs node count for both kernels, drained job
+// throughput, and the serial-vs-parallel wall-clock comparison with its
+// bit-identity check. scripts/bench.sh runs it as CI's non-gating
+// benchmark smoke.
+//
+//	go run ./cmd/ctrlbench                 # full sizes
+//	go run ./cmd/ctrlbench -quick -out ...
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"flag"
+
+	"bgcnk"
+)
+
+type bootRow struct {
+	Nodes   int     `json:"nodes"`
+	CNKMs   float64 `json:"cnk_ms"`
+	FWKMs   float64 `json:"fwk_ms"`
+	FWKOver float64 `json:"fwk_over_cnk"`
+}
+
+type drainRow struct {
+	Kernel        string  `json:"kernel"`
+	Jobs          int     `json:"jobs"`
+	Workers       int     `json:"workers"`
+	SimMakespanS  float64 `json:"sim_makespan_s"`
+	JobsPerSecond float64 `json:"sim_jobs_per_s"`
+	Backfilled    int     `json:"backfilled"`
+	Utilization   float64 `json:"utilization"`
+	SerialWallS   float64 `json:"serial_wall_s"`
+	ParallelWallS float64 `json:"parallel_wall_s"`
+	Speedup       float64 `json:"speedup"`
+	Identical     bool    `json:"identical"`
+	Signature     string  `json:"signature"`
+}
+
+type benchReport struct {
+	CPUs  int        `json:"host_cpus"`
+	Boot  []bootRow  `json:"boot_scaling"`
+	Drain []drainRow `json:"drain"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_ctrlsys.json", "output path")
+	quick := flag.Bool("quick", false, "small sizes for CI smoke")
+	seed := flag.Uint64("seed", 1009, "service-node seed")
+	flag.Parse()
+
+	rep := benchReport{CPUs: runtime.NumCPU()}
+	counts := []int{64, 256, 1024}
+	if *quick {
+		counts = []int{32, 128}
+	}
+	for _, n := range counts {
+		cb := bluegene.SimulateBoot(bluegene.BootConfig{Kind: bluegene.CNK, Nodes: n, NodesPerMidplane: 32})
+		fb := bluegene.SimulateBoot(bluegene.BootConfig{Kind: bluegene.FWK, Nodes: n, NodesPerMidplane: 32})
+		rep.Boot = append(rep.Boot, bootRow{
+			Nodes: n,
+			CNKMs: cb.Total.Seconds() * 1e3, FWKMs: fb.Total.Seconds() * 1e3,
+			FWKOver: float64(fb.Total) / float64(cb.Total),
+		})
+	}
+
+	topo := bluegene.Topology{Racks: 2, MidplanesPerRack: 2, NodesPerMidplane: 2}
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 2 {
+		workers = 2
+	}
+	kinds := []struct {
+		kind bluegene.KernelKind
+		name string
+		jobs int
+	}{
+		{bluegene.CNK, "cnk", 120},
+		{bluegene.FWK, "fwk", 24},
+	}
+	if *quick {
+		kinds[0].jobs, kinds[1].jobs = 24, 6
+	}
+	for _, k := range kinds {
+		cfg := bluegene.ControlConfig{Topology: topo, Kind: k.kind, Seed: *seed, Workers: 1}
+		jobs := bluegene.GenerateControlJobs(*seed, k.jobs, topo.Midplanes())
+		serial, err := bluegene.NewServiceNode(cfg).Drain(jobs)
+		fail(err)
+		cfg.Workers = workers
+		par, err := bluegene.NewServiceNode(cfg).Drain(jobs)
+		fail(err)
+		rep.Drain = append(rep.Drain, drainRow{
+			Kernel: k.name, Jobs: k.jobs, Workers: workers,
+			SimMakespanS:  par.Sched.Makespan.Seconds(),
+			JobsPerSecond: par.JobsPerSecond(),
+			Backfilled:    par.Sched.Backfilled,
+			Utilization:   par.Sched.Utilization,
+			SerialWallS:   serial.Wall.Seconds(),
+			ParallelWallS: par.Wall.Seconds(),
+			Speedup:       serial.Wall.Seconds() / par.Wall.Seconds(),
+			Identical:     par.Signature() == serial.Signature(),
+			Signature:     fmt.Sprintf("%016x", par.Signature()),
+		})
+		if par.Signature() != serial.Signature() {
+			fmt.Fprintf(os.Stderr, "FATAL: %s parallel drain diverged from serial\n", k.name)
+			os.Exit(1)
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	fail(err)
+	blob = append(blob, '\n')
+	fail(os.WriteFile(*out, blob, 0o644))
+	fmt.Printf("wrote %s (%d cpus, %d workers)\n", *out, rep.CPUs, workers)
+	for _, d := range rep.Drain {
+		fmt.Printf("  %s: %.2f sim jobs/s; wall serial %.2fs vs parallel %.2fs (%.2fx, identical=%v)\n",
+			d.Kernel, d.JobsPerSecond, d.SerialWallS, d.ParallelWallS, d.Speedup, d.Identical)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -36,10 +36,13 @@ type Server struct {
 	prox map[proxyKey]*ioproxy
 
 	// faults draws seeded reply drops and daemon crashes; nil on a
-	// perfect machine. down is true between a crash and the respawn.
+	// perfect machine. down is true between a crash and the respawn; gen
+	// counts daemon incarnations so a respawn event scheduled before a
+	// partition reboot cannot revive the daemon the reboot replaced.
 	faults       *ras.NodeFaults
 	restartDelay sim.Cycles
 	down         bool
+	gen          uint64
 
 	Calls    uint64 // function-shipped calls served
 	Proxies  int    // ioproxies ever created
@@ -232,7 +235,60 @@ func (s *Server) crash() {
 	if delay <= 0 {
 		delay = 1
 	}
-	s.eng.At(s.eng.Now()+delay, func() { s.down = false })
+	gen := s.gen
+	s.eng.At(s.eng.Now()+delay, func() {
+		if s.gen == gen {
+			s.down = false
+		}
+	})
+}
+
+// DropProxies retires every ioproxy without sending anything: the proxy
+// coroutines are told to exit and the map is cleared. Unlike a crash there
+// is no EIO flush — the callers behind any queued calls are gone (their
+// job was cleared), and replies to dead clients would only age in their
+// inboxes.
+func (s *Server) DropProxies() {
+	keys := make([]proxyKey, 0, len(s.prox))
+	for k := range s.prox {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].pid < keys[j].pid
+	})
+	for _, k := range keys {
+		p := s.prox[k]
+		tids := make([]uint32, 0, len(p.threads))
+		for tid := range p.threads {
+			tids = append(tids, tid)
+		}
+		sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+		for _, tid := range tids {
+			t := p.threads[tid]
+			t.queue = nil
+			t.dead = true
+			if t.coro != nil {
+				t.coro.Wake()
+			}
+		}
+	}
+	s.prox = make(map[proxyKey]*ioproxy)
+}
+
+// Reset returns the daemon to its just-started state for a partition
+// reboot: proxies are dropped, a pending respawn from an earlier crash is
+// invalidated (the rebooted daemon is a new incarnation), and the daemon
+// comes up serving fsys (nil keeps the current filesystem).
+func (s *Server) Reset(fsys *fs.FS) {
+	s.DropProxies()
+	s.gen++
+	s.down = false
+	if fsys != nil {
+		s.fs = fsys
+	}
 }
 
 // Down reports whether the daemon is currently crashed (for tests).

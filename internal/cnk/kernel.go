@@ -141,6 +141,36 @@ func (k *Kernel) Boot() error {
 	return nil
 }
 
+// ResetJobState forgets every per-job structure — processes, futex
+// queues, PID/TID counters, per-core run queues, core-lending grants — so
+// the next Launch on this kernel numbers and places threads exactly like
+// the first launch on a fresh kernel did. Persistent memory survives (its
+// job-spanning contract, paper Section IV-D); Reboot is what loses it.
+func (k *Kernel) ResetJobState() {
+	k.procs = make(map[uint32]*Proc)
+	k.futexes = make(map[futexKey][]*futexWaiter)
+	k.nextPID, k.nextTID = 0, 0
+	for _, cs := range k.cores {
+		cs.assigned, cs.cur, cs.ready = nil, nil, nil
+		cs.pendingIPIs = nil
+		cs.lentTo = 0
+		cs.ContextSwitches = 0
+	}
+}
+
+// Reboot re-runs the boot sequence on a chip the control system has just
+// reset, as a partition teardown/recreate does between queued jobs. DDR
+// contents were lost with the chip reset, so the persistent-memory
+// registry starts empty and broken-unit probing repeats from scratch.
+func (k *Kernel) Reboot() error {
+	k.ResetJobState()
+	k.booted = false
+	k.UnitsDown = nil
+	k.BootInstr = 0
+	k.Persist = mem.NewPersistRegistry(hw.PAddr(k.Chip.Mem.Size()-64<<20), hw.PAddr(k.Chip.Mem.Size()))
+	return k.Boot()
+}
+
 func (k *Kernel) tag() string { return fmt.Sprintf("cnk%d", k.Chip.ID) }
 
 func (k *Kernel) trace(at sim.Cycles, detail string) {

@@ -116,6 +116,11 @@ func (e *Endpoint) AttachUPC(u *upc.UPC) { e.upc = u }
 // endpoint's outgoing link.
 func (e *Endpoint) AttachFaults(f *ras.NodeFaults) { e.faults = f }
 
+// Drain discards every undelivered inbox message: replies that arrived
+// after their caller gave up (or died) age in the inbox, and a partition
+// reboot must not let job N's stragglers leak into job N+1.
+func (e *Endpoint) Drain() { e.inbox = nil }
+
 // sendCost computes serialization cycles for n bytes.
 func (e *Endpoint) sendCost(n int) sim.Cycles {
 	packets := (n + PacketBytes - 1) / PacketBytes

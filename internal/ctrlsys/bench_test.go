@@ -1,0 +1,34 @@
+package ctrlsys
+
+import (
+	"runtime"
+	"testing"
+
+	"bgcnk/internal/machine"
+)
+
+func BenchmarkSimulateBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SimulateBoot(BootConfig{Kind: machine.KindCNK, Nodes: 1024, NodesPerMidplane: 32})
+		SimulateBoot(BootConfig{Kind: machine.KindFWK, Nodes: 1024, NodesPerMidplane: 32})
+	}
+}
+
+func benchDrain(b *testing.B, workers int) {
+	cfg := Config{
+		Topology: Topology{Racks: 2, MidplanesPerRack: 2, NodesPerMidplane: 2},
+		Kind:     machine.KindCNK,
+		Seed:     1009,
+		Workers:  workers,
+	}
+	jobs := GenerateJobs(cfg.Seed, 24, cfg.Topology.Midplanes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(cfg).Drain(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDrainSerial(b *testing.B)   { benchDrain(b, 1) }
+func BenchmarkDrainParallel(b *testing.B) { benchDrain(b, runtime.NumCPU()) }

@@ -1,0 +1,119 @@
+package ctrlsys
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
+)
+
+// DrainResult is a fully drained queue: every job's result (in job-ID
+// order, regardless of execution order), the control-time schedule, and
+// the deterministic merge of exit codes, counters and RAS streams.
+type DrainResult struct {
+	Results []*JobResult // indexed by job ID
+	Sched   Schedule
+
+	Merged    upc.Snapshot // machine-wide counter sum over all jobs
+	RASEvents uint64
+	RASHash   uint64 // fold of per-job boot-relative hashes, job-ID order
+	Failures  int
+
+	Workers int
+	// Wall is host time spent simulating — the one field that is NOT
+	// deterministic and is excluded from Signature. Serial vs parallel
+	// drains differ here and nowhere else.
+	Wall time.Duration
+}
+
+// Drain simulates every queued job and replays the FIFO+backfill queue
+// over the results. Jobs execute on a worker pool bounded by
+// Config.Workers; because each job runs on its own isolated partition
+// machine seeded purely by job ID, execution order cannot affect any
+// result, and the merge (performed in job-ID order after all workers
+// finish) is bit-identical at every worker count. This is the paper's
+// control-plane parallelism done deterministically: real wall-clock
+// speedup for multi-partition simulations with none of the replay
+// guarantees given up.
+func (s *ServiceNode) Drain(jobs []Job) (*DrainResult, error) {
+	workers := s.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	for i, job := range jobs {
+		if job.ID != i {
+			return nil, fmt.Errorf("ctrlsys: job %d has ID %d; Drain needs dense job IDs", i, job.ID)
+		}
+	}
+	res := &DrainResult{Results: make([]*JobResult, len(jobs)), Workers: workers}
+	start := time.Now()
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res.Results[i] = s.runJob(jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+
+	// Deterministic merge, strictly in job-ID order.
+	snaps := make([]upc.Snapshot, 0, len(jobs))
+	hash := uint64(14695981039346656037)
+	for _, r := range res.Results {
+		snaps = append(snaps, r.Counters)
+		res.RASEvents += r.RASEvents
+		hash = hash*1099511628211 ^ r.RASHash
+		if r.Failed() {
+			res.Failures++
+		}
+	}
+	res.RASHash = hash
+	res.Merged = upc.Merge(snaps...)
+	res.Sched = ScheduleFIFOBackfill(s.topo, jobs, func(id int) sim.Cycles {
+		d := res.Results[id].Duration()
+		if d == 0 {
+			d = 1 // a job that died before booting still occupies its block briefly
+		}
+		return d
+	})
+	return res, nil
+}
+
+// JobsPerSecond is the drained throughput in simulated control time.
+func (r *DrainResult) JobsPerSecond() float64 {
+	if r.Sched.Makespan == 0 {
+		return 0
+	}
+	return float64(len(r.Results)) / r.Sched.Makespan.Seconds()
+}
+
+// Signature digests everything deterministic about the drain: per-job
+// exit codes, run cycles, RAS streams, the merged counters and the
+// schedule. Two drains of the same queue must Signature-equal no matter
+// how many workers simulated them; host wall-clock is excluded.
+func (r *DrainResult) Signature() uint64 {
+	h := fnv.New64a()
+	for _, jr := range r.Results {
+		fmt.Fprintf(h, "job%d|%d|%d|%d|%016x|%s|", jr.Job.ID, jr.Run, jr.Boot.Total,
+			jr.RASEvents, jr.RASHash, jr.Err)
+		for _, c := range jr.ExitCodes {
+			fmt.Fprintf(h, "%d,", c)
+		}
+		fmt.Fprintf(h, "%s|", jr.Counters.Text())
+	}
+	fmt.Fprintf(h, "merged|%s|", r.Merged.Text())
+	for _, p := range r.Sched.Placements {
+		fmt.Fprintf(h, "place%d|%d|%d|%d|%d|%v|", p.JobID, p.Base, p.Midplanes,
+			p.Start, p.End, p.Backfilled)
+	}
+	fmt.Fprintf(h, "makespan%d|backfill%d", r.Sched.Makespan, r.Sched.Backfilled)
+	return h.Sum64()
+}

@@ -1,0 +1,160 @@
+package ctrlsys
+
+import (
+	"fmt"
+)
+
+// Personality is the per-node boot record the control system delivers
+// with the kernel image: who the node is, where it sits, and how its
+// kernel should come up. On the real machine this is the BG personality
+// structure written into each node's SRAM by the service node; here it is
+// the unit of per-node traffic in the boot-protocol model and the wire
+// format the FuzzPersonality harness attacks.
+type Personality struct {
+	Rank      int32  // node's rank within the partition
+	Nodes     int32  // partition size
+	X, Y, Z   int32  // torus coordinates
+	Partition int32  // owning partition ID
+	Base      int32  // partition's base midplane
+	Block     string // control-system block name, e.g. "R00-M1"
+	Kind      uint8  // kernel kind (machine.KernelKind)
+	Seed      uint64 // kernel seed
+	MemBytes  uint64 // DDR size
+}
+
+// Wire format: magic, version, fixed-width fields, length-prefixed block
+// name. Decoders must accept exactly what Marshal produces and nothing
+// else (no trailing bytes), so any accepted input re-marshals to itself.
+const (
+	personalityMagic   = 0x42475062 // "BGPb"
+	personalityVersion = 1
+	maxBlockName       = 256
+)
+
+// Marshal encodes the personality.
+func (p *Personality) Marshal() []byte {
+	e := &penc{}
+	e.u32(personalityMagic)
+	e.u8(personalityVersion)
+	e.u32(uint32(p.Rank))
+	e.u32(uint32(p.Nodes))
+	e.u32(uint32(p.X))
+	e.u32(uint32(p.Y))
+	e.u32(uint32(p.Z))
+	e.u32(uint32(p.Partition))
+	e.u32(uint32(p.Base))
+	e.str(p.Block)
+	e.u8(p.Kind)
+	e.u64(p.Seed)
+	e.u64(p.MemBytes)
+	return e.b
+}
+
+// UnmarshalPersonality decodes one personality record, rejecting bad
+// magic, unknown versions, oversized block names, truncation, and
+// trailing garbage.
+func UnmarshalPersonality(b []byte) (*Personality, error) {
+	d := &pdec{b: b}
+	if m := d.u32(); d.err == nil && m != personalityMagic {
+		return nil, fmt.Errorf("ctrlsys: bad personality magic %#x", m)
+	}
+	if v := d.u8(); d.err == nil && v != personalityVersion {
+		return nil, fmt.Errorf("ctrlsys: unsupported personality version %d", v)
+	}
+	p := &Personality{}
+	p.Rank = int32(d.u32())
+	p.Nodes = int32(d.u32())
+	p.X = int32(d.u32())
+	p.Y = int32(d.u32())
+	p.Z = int32(d.u32())
+	p.Partition = int32(d.u32())
+	p.Base = int32(d.u32())
+	p.Block = d.str()
+	p.Kind = d.u8()
+	p.Seed = d.u64()
+	p.MemBytes = d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("ctrlsys: %d trailing bytes after personality", len(d.b)-d.off)
+	}
+	return p, nil
+}
+
+// personalityWireBytes is the marshalled size of a representative record;
+// the boot model charges this much control-network traffic per node.
+func personalityWireBytes() int {
+	p := Personality{Block: "R00-M0", Seed: 1, MemBytes: 256 << 20}
+	return len(p.Marshal())
+}
+
+type penc struct{ b []byte }
+
+func (e *penc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *penc) u32(v uint32) { e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+func (e *penc) u64(v uint64) {
+	e.u32(uint32(v))
+	e.u32(uint32(v >> 32))
+}
+func (e *penc) str(s string) {
+	if len(s) > maxBlockName {
+		s = s[:maxBlockName]
+	}
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type pdec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *pdec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("ctrlsys: truncated personality at offset %d", d.off)
+	}
+}
+
+func (d *pdec) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *pdec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	b := d.b[d.off:]
+	d.off += 4
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (d *pdec) u64() uint64 {
+	lo := d.u32()
+	hi := d.u32()
+	return uint64(lo) | uint64(hi)<<32
+}
+
+func (d *pdec) str() string {
+	n := int(d.u32())
+	if d.err != nil {
+		return ""
+	}
+	// Bound the allocation by both the name cap and the bytes actually
+	// present (a hostile length must not drive a huge allocation).
+	if n > maxBlockName || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}

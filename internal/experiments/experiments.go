@@ -60,21 +60,22 @@ type Runner func(Options) (*Result, error)
 
 // Registry maps experiment IDs (paper artifact names) to runners.
 var Registry = map[string]Runner{
-	"fig5-7":    RunFWQ,
-	"table1":    RunTable1,
-	"fig8":      RunFig8,
-	"linpack":   RunLinpack,
-	"allreduce": RunAllreduce,
-	"table2":    RunTable2,
-	"table3":    RunTable3,
-	"boot":      RunBoot,
-	"repro":     RunRepro,
-	"faults":    RunFaults,
-	"ablations": RunAblations,
+	"fig5-7":     RunFWQ,
+	"table1":     RunTable1,
+	"fig8":       RunFig8,
+	"linpack":    RunLinpack,
+	"allreduce":  RunAllreduce,
+	"table2":     RunTable2,
+	"table3":     RunTable3,
+	"boot":       RunBoot,
+	"throughput": RunThroughput,
+	"repro":      RunRepro,
+	"faults":     RunFaults,
+	"ablations":  RunAblations,
 }
 
 // Order lists the artifacts in paper order.
-var Order = []string{"fig5-7", "table1", "fig8", "linpack", "allreduce", "table2", "table3", "boot", "repro", "faults", "ablations"}
+var Order = []string{"fig5-7", "table1", "fig8", "linpack", "allreduce", "table2", "table3", "boot", "throughput", "repro", "faults", "ablations"}
 
 // RunAll executes every experiment in paper order.
 func RunAll(opt Options) ([]*Result, error) {

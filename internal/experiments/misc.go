@@ -4,6 +4,7 @@ import (
 	"bgcnk/internal/bringup"
 	"bgcnk/internal/caps"
 	"bgcnk/internal/cnk"
+	"bgcnk/internal/ctrlsys"
 	"bgcnk/internal/fwk"
 	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
@@ -36,9 +37,13 @@ func RunTable3(opt Options) (*Result, error) {
 	return r, nil
 }
 
-// RunBoot regenerates the Section III boot-time comparison: under the
-// 10 Hz VHDL simulator used during chip design, "CNK boots in a couple of
-// hours, while Linux takes weeks. Even stripped down, Linux takes days."
+// RunBoot regenerates the Section III boot story in two parts: the
+// single-node comparison under the 10 Hz VHDL simulator used during chip
+// design ("CNK boots in a couple of hours, while Linux takes weeks. Even
+// stripped down, Linux takes days."), and the control-system scaling
+// comparison ("CNK boots a 72-rack machine in minutes"): CNK's broadcast
+// boot is near-flat in node count while an FWK's staggered per-node image
+// load grows linearly.
 func RunBoot(opt Options) (*Result, error) {
 	eng := sim.NewEngine()
 	ck := cnk.New(eng, hw.NewChip(hw.ChipConfig{ID: 0}), cnk.Config{Reproducible: true})
@@ -55,7 +60,7 @@ func RunBoot(opt Options) (*Result, error) {
 	if err := strip.Boot(); err != nil {
 		return nil, err
 	}
-	r := &Result{ID: "boot", Title: "Boot under a 10 Hz VHDL simulator (paper Section III)", Pass: true}
+	r := &Result{ID: "boot", Title: "Boot: VHDL bring-up time and boot-protocol scaling (paper Section III)", Pass: true}
 	r.addf("%s", bringup.DescribeVHDLBoot("CNK", ck.BootInstr))
 	r.addf("%s", bringup.DescribeVHDLBoot("Linux (full)", full.BootInstr))
 	r.addf("%s", bringup.DescribeVHDLBoot("Linux (stripped)", strip.BootInstr))
@@ -73,6 +78,38 @@ func RunBoot(opt Options) (*Result, error) {
 	if stripH < 24 || stripH > 24*14 {
 		r.Pass = false
 		r.notef("stripped Linux boot %.1fh is not 'days'", stripH)
+	}
+
+	// Part two: boot time vs node count through the control-system model.
+	counts := []int{64, 128, 256, 512, 1024}
+	if opt.Quick {
+		counts = []int{32, 64, 128, 256}
+	}
+	r.addf("")
+	r.addf("Boot protocol scaling (control-system model, %d nodes/midplane):", 32)
+	r.addf("%6s | %14s | %14s | %9s", "nodes", "CNK broadcast", "FWK staggered", "FWK/CNK")
+	var cnkTimes, fwkTimes []float64
+	for _, n := range counts {
+		cb := ctrlsys.SimulateBoot(ctrlsys.BootConfig{Kind: machine.KindCNK, Nodes: n, NodesPerMidplane: 32})
+		fb := ctrlsys.SimulateBoot(ctrlsys.BootConfig{Kind: machine.KindFWK, Nodes: n, NodesPerMidplane: 32})
+		cnkTimes = append(cnkTimes, cb.Total.Seconds()*1e3)
+		fwkTimes = append(fwkTimes, fb.Total.Seconds()*1e3)
+		r.addf("%6d | %11.3f ms | %11.1f ms | %8.0fx", n,
+			cb.Total.Seconds()*1e3, fb.Total.Seconds()*1e3,
+			float64(fb.Total)/float64(cb.Total))
+	}
+	last := len(counts) - 1
+	span := float64(counts[last]) / float64(counts[0])
+	cnkGrowth := cnkTimes[last] / cnkTimes[0]
+	fwkGrowth := fwkTimes[last] / fwkTimes[0]
+	r.addf("growth over a %gx node span: CNK %.2fx, FWK %.1fx", span, cnkGrowth, fwkGrowth)
+	if cnkGrowth > 1.5 {
+		r.Pass = false
+		r.notef("CNK broadcast boot grew %.2fx over a %gx node span; should be near-flat", cnkGrowth, span)
+	}
+	if fwkGrowth < span/2 {
+		r.Pass = false
+		r.notef("FWK staggered boot grew only %.1fx over a %gx node span; should be ~linear", fwkGrowth, span)
 	}
 	return r, nil
 }

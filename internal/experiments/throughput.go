@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"runtime"
+
+	"bgcnk/internal/ctrlsys"
+	"bgcnk/internal/machine"
+)
+
+// RunThroughput drains a seeded stream of job submissions through the
+// control system's FIFO+backfill queue, once per kernel kind, and checks
+// the subsystem's two headline properties: (a) the parallel partition
+// drain is bit-identical to the serial one (deterministic parallelism),
+// and (b) CNK's cheap boot/teardown buys it strictly higher job
+// throughput than an FWK on the same machine and the same queue, since
+// every job repays the boot protocol.
+func RunThroughput(opt Options) (*Result, error) {
+	topo := ctrlsys.Topology{Racks: 2, MidplanesPerRack: 2, NodesPerMidplane: 2}
+	cnkJobs, fwkJobs := 200, 48
+	if opt.Quick {
+		cnkJobs, fwkJobs = 36, 10
+	}
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 2 {
+		workers = 2
+	}
+
+	r := &Result{ID: "throughput", Title: "Job throughput through the control system (FIFO + EASY backfill)", Pass: true}
+	r.addf("topology: %d midplanes x %d nodes, %d drain workers",
+		topo.Midplanes(), topo.NodesPerMidplane, workers)
+
+	type row struct {
+		kind   machine.KernelKind
+		name   string
+		jobs   int
+		result *ctrlsys.DrainResult
+	}
+	rows := []row{
+		{kind: machine.KindCNK, name: "CNK", jobs: cnkJobs},
+		{kind: machine.KindFWK, name: "FWK", jobs: fwkJobs},
+	}
+	for i := range rows {
+		cfg := ctrlsys.Config{Topology: topo, Kind: rows[i].kind, Seed: 1009}
+		jobs := ctrlsys.GenerateJobs(cfg.Seed, rows[i].jobs, topo.Midplanes())
+
+		serialCfg := cfg
+		serialCfg.Workers = 1
+		serial, err := ctrlsys.New(serialCfg).Drain(jobs)
+		if err != nil {
+			return nil, err
+		}
+		parCfg := cfg
+		parCfg.Workers = workers
+		par, err := ctrlsys.New(parCfg).Drain(jobs)
+		if err != nil {
+			return nil, err
+		}
+		if par.Signature() != serial.Signature() {
+			r.Pass = false
+			r.notef("%s: parallel drain signature %016x != serial %016x — determinism broken",
+				rows[i].name, par.Signature(), serial.Signature())
+		}
+		rows[i].result = par
+
+		r.addf("%s: %3d jobs drained, makespan %8.3f s, %6.2f jobs/s, %d backfilled, utilization %4.1f%%, %d failures",
+			rows[i].name, len(jobs), par.Sched.Makespan.Seconds(), par.JobsPerSecond(),
+			par.Sched.Backfilled, par.Sched.Utilization*100, par.Failures)
+		if par.Failures > 0 {
+			r.Pass = false
+			r.notef("%s: %d jobs failed", rows[i].name, par.Failures)
+		}
+	}
+
+	cnkRate := rows[0].result.JobsPerSecond()
+	fwkRate := rows[1].result.JobsPerSecond()
+	if fwkRate > 0 {
+		r.addf("CNK/FWK throughput ratio: %.0fx (boot+teardown dominate short jobs)", cnkRate/fwkRate)
+	}
+	if cnkRate <= fwkRate {
+		r.Pass = false
+		r.notef("CNK throughput %.2f jobs/s not above FWK %.2f", cnkRate, fwkRate)
+	}
+	return r, nil
+}

@@ -166,6 +166,48 @@ func (k *Kernel) Boot() error {
 	return nil
 }
 
+// ResetJobState forgets per-job structures — processes, futex queues,
+// PID/TID counters, run queues — so a reused kernel numbers and places the
+// next job's threads like a fresh one would. The physical-frame allocator
+// is deliberately NOT rewound here: a live FWK never compacts its pool, so
+// job-to-job frame placement drifts (the Table II contiguity story);
+// Reboot is what restores the pristine permutation.
+func (k *Kernel) ResetJobState() {
+	k.procs = make(map[uint32]*Proc)
+	k.futexes = make(map[futexKey][]*futexWaiter)
+	k.nextPID, k.nextTID = 0, 0
+	for _, c := range k.cpus {
+		c.cur, c.ready = nil, nil
+	}
+}
+
+// Reboot brings the kernel back up after a partition reset, replaying the
+// full boot sequence with the same seed: the kernel RNG, the frame
+// allocator, tick phases and daemon schedules all restart exactly as a
+// fresh boot's would, just shifted to the new boot instant. fsys, when
+// non-nil, replaces the node's (NFS) filesystem — a partition reboot
+// remounts a clean export. The previous incarnation's daemon coroutines
+// stay parked forever (nothing dispatches them once cpus[i].daemons is
+// replaced); they are reclaimed at engine Shutdown.
+func (k *Kernel) Reboot(fsys *fs.FS) error {
+	k.ResetJobState()
+	k.booted = false
+	k.BootInstr = 0
+	k.rng = sim.NewRNG(k.cfg.Seed ^ 0xf00dface)
+	k.physIdx = 0
+	k.physFree = nil
+	if fsys != nil {
+		k.cfg.FS = fsys
+		k.FS = fsys
+	}
+	for _, c := range k.cpus {
+		c.daemons = nil
+		c.nextTick = 0
+		c.Ticks, c.ContextSwitches, c.DaemonRuns = 0, 0, 0
+	}
+	return k.Boot()
+}
+
 func (k *Kernel) tag() string { return fmt.Sprintf("fwk%d", k.Chip.ID) }
 
 // SyscallEntryCost implements kernel.OS.

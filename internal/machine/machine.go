@@ -325,9 +325,70 @@ func (m *Machine) ResetFaults() {
 	}
 }
 
-// ClearJobs forgets finished (or killed) jobs so a recovery relaunch
-// starts from a clean slate.
-func (m *Machine) ClearJobs() { m.jobs = nil }
+// ClearJobs forgets finished (or killed) jobs AND the per-job state they
+// left in the kernels and CIOD — process tables, PID/TID counters, futex
+// queues, run queues, ioproxies, undelivered tree messages — so a reused
+// machine's next job is numbered, placed and served exactly like a fresh
+// machine's first. (Before this reset, a second job saw job 1's PID
+// counters and stale proxies, so back-to-back runs were not comparable.)
+func (m *Machine) ClearJobs() {
+	m.jobs = nil
+	for _, k := range m.CNKs {
+		k.ResetJobState()
+	}
+	for _, k := range m.FWKs {
+		k.ResetJobState()
+	}
+	for _, s := range m.Servers {
+		s.DropProxies()
+	}
+	for i, tree := range m.Trees {
+		tree.ION().Drain()
+		base := i * m.Cfg.CNsPerION
+		for n := base; n < base+m.Cfg.CNsPerION && n < m.Cfg.Nodes; n++ {
+			tree.CN(n).Drain()
+		}
+	}
+}
+
+// Reboot tears the partition down and brings it back up, as the control
+// system does between queued jobs: trailing events drain, every chip is
+// reset (losing TLBs, DACs, caches, counters and DDR contents), the DDR
+// refresh phase is restamped to the reboot instant, fault streams rewind
+// to the top of their seeded schedule, each I/O node gets a fresh
+// filesystem and a new CIOD incarnation, and the kernels re-run their boot
+// sequences. Because every kernel anchors its dynamics to its boot instant
+// and every RNG restarts from its seed, the rebooted machine's next job is
+// a pure time-shift of a fresh machine's first (see TestRebootedMachine...
+// in reuse_test.go for the byte-identity proof).
+func (m *Machine) Reboot() error {
+	m.Eng.RunUntilIdle()
+	m.ClearJobs()
+	m.ResetFaults()
+	now := m.Eng.Now()
+	for i := range m.Servers {
+		ionFS := fs.New()
+		ionFS.MustMkdirAll("/gpfs")
+		ionFS.MustMkdirAll("/lib")
+		m.IONFS[i] = ionFS
+		m.Servers[i].Reset(ionFS)
+	}
+	for _, ch := range m.Chips {
+		ch.Reset()
+		ch.Cache.ResetRefreshPhase(now)
+	}
+	for n, k := range m.CNKs {
+		if err := k.Reboot(); err != nil {
+			return fmt.Errorf("machine: reboot node %d: %v", n, err)
+		}
+	}
+	for n, k := range m.FWKs {
+		if err := k.Reboot(m.IONFS[n/m.Cfg.CNsPerION]); err != nil {
+			return fmt.Errorf("machine: reboot node %d: %v", n, err)
+		}
+	}
+	return nil
+}
 
 // ExitCodes returns the exit code of each launched job's first process,
 // in launch order; unfinished jobs report -1.

@@ -99,6 +99,32 @@ func (l *Log) Append(e Event) {
 // Count returns the number of events of one class.
 func (l *Log) Count(c Class) uint64 { return l.counts[c] }
 
+// Mark is a position in the log, taken before a region of a run so the
+// region's events can be hashed independently of what preceded them.
+type Mark int
+
+// Mark returns the current log position.
+func (l *Log) Mark() Mark { return Mark(len(l.events)) }
+
+// CountSince returns the number of events appended after m.
+func (l *Log) CountSince(m Mark) uint64 { return uint64(len(l.events) - int(m)) }
+
+// HashSince digests the events appended after m with their times rebased
+// to base (normally the job's boot instant). The running Hash covers
+// absolute cycle times, which is right for whole-run identity but useless
+// for comparing a job on a rebooted machine against the same job on a
+// fresh one — the reboot shifts every timestamp. Two time-shifted but
+// otherwise identical event sequences HashSince-equal.
+func (l *Log) HashSince(m Mark, base sim.Cycles) uint64 {
+	hash := uint64(14695981039346656037)
+	for _, e := range l.events[m:] {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|%d|%s|%d|%s", uint64(e.At-base), e.Node, e.Comp, e.Class, e.Detail)
+		hash = hash*1099511628211 ^ h.Sum64()
+	}
+	return hash
+}
+
 // Total returns the number of events logged.
 func (l *Log) Total() uint64 { return uint64(len(l.events)) }
 

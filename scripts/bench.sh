@@ -1,0 +1,22 @@
+#!/bin/sh
+# Benchmark smoke: run the control-system micro-benchmarks and emit
+# BENCH_ctrlsys.json (modelled boot scaling, drained job throughput, and
+# the serial-vs-parallel wall-clock comparison with its bit-identity
+# check). Called from scripts/ci.sh as a non-gating smoke; run it by hand
+# with full sizes:
+#
+#   ./scripts/bench.sh          # quick (CI) sizes
+#   BENCH_FULL=1 ./scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go test -bench (ctrlsys)"
+go test -run '^$' -bench . -benchtime 1x ./internal/ctrlsys/
+
+echo "== ctrlbench -> BENCH_ctrlsys.json"
+if [ "${BENCH_FULL:-0}" = "1" ]; then
+	go run ./cmd/ctrlbench -out BENCH_ctrlsys.json
+else
+	go run ./cmd/ctrlbench -quick -out BENCH_ctrlsys.json
+fi

@@ -20,7 +20,7 @@ echo "== go test -race"
 go test -race ./...
 
 echo "== fuzz seed-corpus regressions"
-go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/
+go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/ ./internal/ctrlsys/
 
 # The fault matrix is part of the -race suite above, but gate on it
 # explicitly: per-class fault determinism and the recovery-under-fault
@@ -28,10 +28,23 @@ go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/
 echo "== fault matrix"
 go test -run 'TestFaultMatrix|TestRecoveryUnderFaultDeterminism|TestFaultsOffChangesNothing|TestCIODRetryExhaustionSurfacesEIO|TestCIODCrashRecovery' ./internal/machine/
 
+# Control-system contracts, gated explicitly for the same reason: the
+# parallel drain must be bit-identical to serial (under -race), a reused
+# machine must match a fresh one, and the boot-scaling table must match
+# its golden byte-for-byte (regenerate with -update after model changes).
+echo "== control system: determinism + boot golden"
+go test -race -run 'TestParallelDrainMatchesSerial' ./internal/ctrlsys/
+go test -run 'TestRebootedMachineMatchesFresh' ./internal/machine/
+go test -run 'TestGolden/boot' ./internal/experiments/
+
+echo "== benchmark smoke (non-gating)"
+./scripts/bench.sh || echo "WARN: bench smoke failed (non-gating)"
+
 if [ "$FUZZTIME" != "0" ]; then
 	echo "== live fuzzing ($FUZZTIME per target)"
 	go test -fuzz=FuzzFS -fuzztime="$FUZZTIME" ./internal/fs/
 	go test -fuzz=FuzzMarshal -fuzztime="$FUZZTIME" ./internal/ciod/
+	go test -fuzz=FuzzPersonality -fuzztime="$FUZZTIME" ./internal/ctrlsys/
 fi
 
 echo "CI gate passed."
