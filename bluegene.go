@@ -19,6 +19,7 @@ package bluegene
 import (
 	"fmt"
 
+	"bgcnk/internal/ckpt"
 	"bgcnk/internal/ctrlsys"
 	"bgcnk/internal/experiments"
 	"bgcnk/internal/kernel"
@@ -213,3 +214,39 @@ func GenerateControlJobs(seed uint64, n, maxMidplanes int) []ControlJob {
 
 // SimulateBoot runs the boot-protocol model for one partition.
 func SimulateBoot(cfg BootConfig) BootResult { return ctrlsys.SimulateBoot(cfg) }
+
+// ---- Resilience ----
+//
+// Checkpoint/restart rides the control system: with ControlConfig.Ckpt
+// enabled, drained jobs snapshot periodically through CIOD to the ION
+// filesystem and a job killed by an uncorrectable RAS event is restarted
+// from its last checkpoint, with bounded attempts and exponential backoff
+// at the service node. Everything stays bit-reproducible.
+
+// CkptConfig arms checkpoint/restart for drained jobs
+// (ControlConfig.Ckpt).
+type CkptConfig = ctrlsys.CkptConfig
+
+// RestartAttempt records one incarnation of a job under the resilience
+// layer (ControlJobResult.Attempts).
+type RestartAttempt = ctrlsys.Attempt
+
+// CheckpointImage is the versioned checkpoint wire image (process memory
+// regions, register state, UPC counters, open CIOD descriptors).
+type CheckpointImage = ckpt.Image
+
+// ErrRestartBudgetExhausted is wrapped into DrainResult.Errs when a job
+// fails its initial run and every restart the budget allows; test with
+// errors.Is.
+var ErrRestartBudgetExhausted = ctrlsys.ErrRestartBudgetExhausted
+
+// UnmarshalCheckpoint decodes a checkpoint image from its wire bytes,
+// rejecting truncated, corrupt or non-canonical input.
+func UnmarshalCheckpoint(b []byte) (*CheckpointImage, error) { return ckpt.Unmarshal(b) }
+
+// WorkSignature digests the application work a run performed (syscalls,
+// page faults, network traffic) while excluding counters a legitimate
+// restart perturbs (cache misses, timer ticks, RAS reactions, retries).
+// A job that completes after checkpoint/restart signature-matches its
+// fault-free run.
+func WorkSignature(s CounterSnapshot) uint64 { return ckpt.WorkSignature(s) }

@@ -1,6 +1,7 @@
 package bluegene
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -60,9 +61,48 @@ func TestFacadeControlSystem(t *testing.T) {
 	}
 }
 
+func TestFacadeResilience(t *testing.T) {
+	cfg := ControlConfig{
+		Topology: Topology{Racks: 1, MidplanesPerRack: 2, NodesPerMidplane: 2},
+		Kind:     CNK,
+		Seed:     42,
+		Workers:  2,
+		Faults:   &FaultPlan{Seed: 0xdead, DDRUncorrectable: 5e-2},
+		Ckpt:     CkptConfig{Enabled: true, Interval: 1},
+	}
+	jobs := []ControlJob{
+		{ID: 0, Name: "res0", Midplanes: 1, Work: 20_000, Exchanges: 6, IOBytes: 0},
+	}
+	d, err := NewServiceNode(cfg).Drain(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At a kill-everything rate the job dies before its first checkpoint
+	// on every incarnation, so the typed budget error must surface.
+	if len(d.Errs) == 0 || !errors.Is(d.Errs[0], ErrRestartBudgetExhausted) {
+		t.Fatalf("drain errors %v do not surface ErrRestartBudgetExhausted", d.Errs)
+	}
+	if len(d.Results[0].Attempts) == 0 || d.Restarts == 0 {
+		t.Fatalf("no restart history recorded: %+v", d.Results[0])
+	}
+
+	var zero CounterSnapshot
+	if WorkSignature(d.Merged) == WorkSignature(zero) {
+		t.Fatal("drained work signature indistinguishable from an idle machine")
+	}
+	img := &CheckpointImage{JobID: 1, Epoch: 2}
+	got, err := UnmarshalCheckpoint(img.Marshal())
+	if err != nil || got.JobID != 1 || got.Epoch != 2 {
+		t.Fatalf("checkpoint round trip: %+v err=%v", got, err)
+	}
+	if _, err := UnmarshalCheckpoint([]byte("junk")); err == nil {
+		t.Fatal("junk accepted as a checkpoint image")
+	}
+}
+
 func TestExperimentRegistryAccessible(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 12 {
+	if len(ids) != 13 {
 		t.Fatalf("experiments: %v", ids)
 	}
 	if _, err := Experiment("no-such", true); err == nil {

@@ -1,0 +1,200 @@
+// Command resbench measures the resilience layer and writes a
+// machine-readable benchmark report (BENCH_resilience.json by default):
+// per-kernel checkpoint and restore latency (the fault-free run-cycle
+// overhead of snapshotting, amortized per checkpoint), restart latency
+// (service-node overhead per restart attempt), and the completion-rate
+// sweep over uncorrectable-fault rates with checkpointing on and off.
+// Every simulated number is deterministic; the tool exits nonzero if a
+// parallel drain ever diverges from the serial one.
+//
+//	go run ./cmd/resbench                 # full sizes
+//	go run ./cmd/resbench -quick -out ...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"bgcnk"
+)
+
+// resilienceJobs are long enough (6-9 exchange rounds, checkpoint every
+// round) that a mid-life kill leaves a checkpoint worth resuming from.
+func resilienceJobs(n int) []bluegene.ControlJob {
+	all := []bluegene.ControlJob{
+		{ID: 0, Name: "res000", Midplanes: 1, Work: 20_000, Exchanges: 8, IOBytes: 512},
+		{ID: 1, Name: "res001", Midplanes: 2, Work: 30_000, Exchanges: 6, IOBytes: 256},
+		{ID: 2, Name: "res002", Midplanes: 1, Work: 25_000, Exchanges: 8, IOBytes: 512},
+		{ID: 3, Name: "res003", Midplanes: 1, Work: 15_000, Exchanges: 7, IOBytes: 0},
+		{ID: 4, Name: "res004", Midplanes: 2, Work: 22_000, Exchanges: 9, IOBytes: 128},
+		{ID: 5, Name: "res005", Midplanes: 1, Work: 18_000, Exchanges: 6, IOBytes: 256},
+	}
+	return all[:n]
+}
+
+// noCkptInterval exceeds every job's exchange count: the identical
+// resilient workload runs, but no snapshot is ever taken and every
+// restart is a cold start.
+const noCkptInterval = 1 << 20
+
+type ckptCostRow struct {
+	Kernel          string  `json:"kernel"`
+	Checkpoints     int     `json:"checkpoints"`
+	TotalOverheadMs float64 `json:"total_overhead_ms"`
+	PerCheckpointUs float64 `json:"per_checkpoint_us"`
+}
+
+type sweepRow struct {
+	Kernel         string  `json:"kernel"`
+	FaultRate      float64 `json:"fault_rate"`
+	Ckpt           bool    `json:"ckpt"`
+	Jobs           int     `json:"jobs"`
+	Completed      int     `json:"completed"`
+	CompletionRate float64 `json:"completion_rate"`
+	Restarts       int     `json:"restarts"`
+	RestartUs      float64 `json:"restart_overhead_per_restart_us"`
+	WastedMs       float64 `json:"wasted_ms"`
+	MakespanMs     float64 `json:"makespan_ms"`
+	Identical      bool    `json:"identical"`
+	Signature      string  `json:"signature"`
+}
+
+type benchReport struct {
+	CPUs     int           `json:"host_cpus"`
+	Workers  int           `json:"workers"`
+	CkptCost []ckptCostRow `json:"checkpoint_cost"`
+	Sweep    []sweepRow    `json:"completion_sweep"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_resilience.json", "output path")
+	quick := flag.Bool("quick", false, "small sizes for CI smoke")
+	seed := flag.Uint64("seed", 1009, "service-node seed")
+	flag.Parse()
+
+	topo := bluegene.Topology{Racks: 1, MidplanesPerRack: 2, NodesPerMidplane: 2}
+	jobs := resilienceJobs(6)
+	rates := []float64{0, 2e-3, 4e-3, 1e-2}
+	if *quick {
+		jobs = resilienceJobs(4)
+		rates = []float64{0, 4e-3, 1e-2}
+	}
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 2 {
+		workers = 2
+	}
+	rep := benchReport{CPUs: runtime.NumCPU(), Workers: workers}
+
+	drain := func(kind bluegene.KernelKind, rate float64, interval, w int) *bluegene.DrainResult {
+		var plan *bluegene.FaultPlan
+		if rate > 0 {
+			plan = &bluegene.FaultPlan{Seed: 0x6b1f, DDRUncorrectable: rate}
+			if kind == bluegene.FWK {
+				plan.FWKPanicEvery = 1
+			}
+		}
+		res, err := bluegene.NewServiceNode(bluegene.ControlConfig{
+			Topology: topo, Kind: kind, Seed: *seed, Workers: w,
+			Faults: plan,
+			Ckpt:   bluegene.CkptConfig{Enabled: true, Interval: interval},
+		}).Drain(jobs)
+		fail(err)
+		return res
+	}
+	runTotal := func(res *bluegene.DrainResult) bluegene.Cycles {
+		var sum bluegene.Cycles
+		for _, jr := range res.Results {
+			sum += jr.Run
+		}
+		return sum
+	}
+
+	kinds := []struct {
+		kind bluegene.KernelKind
+		name string
+	}{
+		{bluegene.CNK, "cnk"},
+		{bluegene.FWK, "fwk"},
+	}
+
+	// Checkpoint cost: the fault-free drain pays for snapshotting with run
+	// cycles; amortize over the checkpoints taken (one per exchange round
+	// except the last, interval 1).
+	ckpts := 0
+	for _, j := range jobs {
+		ckpts += j.Exchanges - 1
+	}
+	for _, k := range kinds {
+		on := drain(k.kind, 0, 1, workers)
+		off := drain(k.kind, 0, noCkptInterval, workers)
+		over := runTotal(on) - runTotal(off)
+		rep.CkptCost = append(rep.CkptCost, ckptCostRow{
+			Kernel:          k.name,
+			Checkpoints:     ckpts,
+			TotalOverheadMs: over.Seconds() * 1e3,
+			PerCheckpointUs: over.Seconds() * 1e6 / float64(ckpts),
+		})
+	}
+
+	for _, k := range kinds {
+		for _, rate := range rates {
+			for _, interval := range []int{1, noCkptInterval} {
+				par := drain(k.kind, rate, interval, workers)
+				serial := drain(k.kind, rate, interval, 1)
+				identical := par.Signature() == serial.Signature()
+				completed := len(jobs) - par.Failures
+				restartUs := 0.0
+				if par.Restarts > 0 {
+					var over bluegene.Cycles
+					for _, jr := range par.Results {
+						over += jr.RestartOverhead
+					}
+					restartUs = over.Seconds() * 1e6 / float64(par.Restarts)
+				}
+				rep.Sweep = append(rep.Sweep, sweepRow{
+					Kernel: k.name, FaultRate: rate, Ckpt: interval == 1,
+					Jobs: len(jobs), Completed: completed,
+					CompletionRate: float64(completed) / float64(len(jobs)),
+					Restarts:       par.Restarts,
+					RestartUs:      restartUs,
+					WastedMs:       par.Wasted.Seconds() * 1e3,
+					MakespanMs:     par.Sched.Makespan.Seconds() * 1e3,
+					Identical:      identical,
+					Signature:      fmt.Sprintf("%016x", par.Signature()),
+				})
+				if !identical {
+					fmt.Fprintf(os.Stderr, "FATAL: %s rate=%g ckpt=%v parallel drain diverged from serial\n",
+						k.name, rate, interval == 1)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	fail(err)
+	blob = append(blob, '\n')
+	fail(os.WriteFile(*out, blob, 0o644))
+	fmt.Printf("wrote %s (%d cpus, %d workers)\n", *out, rep.CPUs, workers)
+	for _, c := range rep.CkptCost {
+		fmt.Printf("  %s checkpoint: %.1f us per snapshot (%d snapshots, +%.3f ms total)\n",
+			c.Kernel, c.PerCheckpointUs, c.Checkpoints, c.TotalOverheadMs)
+	}
+	for _, s := range rep.Sweep {
+		fmt.Printf("  %s rate=%5.0e ckpt=%-5v: %d/%d completed, %2d restarts, wasted %8.3f ms, makespan %8.3f ms\n",
+			s.Kernel, s.FaultRate, s.Ckpt, s.Completed, s.Jobs, s.Restarts, s.WastedMs, s.MakespanMs)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -370,6 +370,40 @@ func DecodeNames(b []byte) ([]string, error) {
 	return names, d.err
 }
 
+// FileTable returns the mirrored open-file table of the ioproxy serving
+// (node, pid), in ascending-fd order, or nil if no such proxy is alive.
+// Checkpoints record this table: the ioproxy's descriptor state IS the
+// compute process's file state (paper Section IV-A), so capturing it here
+// is what lets a restarted job resume its I/O mid-file.
+func (s *Server) FileTable(node int, pid uint32) []fs.OpenFileState {
+	p, ok := s.prox[proxyKey{node: node, pid: pid}]
+	if !ok {
+		return nil
+	}
+	return p.client.OpenFiles()
+}
+
+// RestoreFiles rebuilds the (node, pid) ioproxy's descriptor table from a
+// checkpoint image, creating the proxy if the restarted process has not
+// shipped a call yet. Returns ESRCH only if no filesystem is mounted.
+func (s *Server) RestoreFiles(node int, pid uint32, uid, gid uint32, files []fs.OpenFileState) kernel.Errno {
+	key := proxyKey{node: node, pid: pid}
+	p, ok := s.prox[key]
+	if !ok {
+		p = &ioproxy{
+			pid:     pid,
+			client:  fs.NewClient(s.fs, fs.Cred{UID: uid, GID: gid}),
+			threads: make(map[uint32]*proxyThread),
+		}
+		s.prox[key] = p
+		s.Proxies++
+		if live := len(s.prox); live > s.MaxProxy {
+			s.MaxProxy = live
+		}
+	}
+	return p.client.RestoreFiles(files)
+}
+
 // LiveProxies reports the number of ioproxies currently alive.
 func (s *Server) LiveProxies() int { return len(s.prox) }
 

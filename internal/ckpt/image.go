@@ -1,0 +1,396 @@
+// Package ckpt defines the checkpoint image: the versioned, strictly
+// validated wire format a job's state is serialized into at a barrier
+// quiesce point and restored from after an uncorrectable fault.
+//
+// The paper's reliability story (Section V-B) leans on exactly this
+// artifact: the 2007 Gordon Bell sustained-petaflop run survived hardware
+// faults by restarting from checkpoints, and CNK's deterministic,
+// statically mapped processes are what made the snapshot cheap — the
+// kernel knows every region of a process a priori, so a checkpoint is a
+// single pass over a handful of large contiguous extents. An FWK has to
+// walk scattered 4 KB pages, flush its page cache and quiesce daemons
+// first; the cost difference is measured by the "mtbf" experiment.
+//
+// An image records, per node: the process's memory regions (descriptors
+// plus digests — the simulation models the traffic, not the bytes), the
+// thread register state, the node's full UPC counter block, and the open
+// CIOD file table mirrored by the node's ioproxy. Decoding is strict:
+// bad magic or version, truncation, hostile length prefixes, unsorted or
+// overlapping regions, and trailing garbage are all rejected, and any
+// accepted input re-marshals to itself (the canonical property
+// FuzzCheckpointImage enforces).
+package ckpt
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"bgcnk/internal/upc"
+)
+
+// Wire-format constants. Caps bound what a hostile length prefix can make
+// the decoder allocate.
+const (
+	imageMagic   = 0x4247434b // "BGCK"
+	imageVersion = 1
+
+	// MaxNodes bounds the per-image node count.
+	MaxNodes = 4096
+	// MaxRegions bounds the per-node region count.
+	MaxRegions = 4096
+	// MaxThreads bounds the per-node thread count.
+	MaxThreads = 4096
+	// MaxFiles bounds the per-node open-file count (mirrors fs.MaxFDs).
+	MaxFiles = 256
+	// MaxPath bounds an open file's recorded path length.
+	MaxPath = 4096
+)
+
+// Image is one whole-job checkpoint: the state of every node of the
+// partition at one barrier quiesce point.
+type Image struct {
+	JobID int32
+	Epoch uint32 // exchange rounds completed when the snapshot was taken
+	Kind  uint8  // kernel kind (machine.KernelKind)
+	Nodes []NodeState
+}
+
+// NodeState is one node's contribution to the image.
+type NodeState struct {
+	Node     int32
+	Regions  []Region   // sorted by VBase, non-overlapping
+	Threads  []RegState // sorted by TID
+	Counters upc.Snapshot
+	Files    []FileState // sorted by FD
+}
+
+// Region describes one checkpointed memory extent. Under CNK these are
+// the few large statically mapped regions; under an FWK they are runs of
+// contiguous resident 4 KB pages (typically many, typically short — the
+// contiguity story of Table II, visible in the image itself).
+type Region struct {
+	VBase  uint64
+	Size   uint64
+	Digest uint64
+}
+
+// RegState is one thread's saved register state. The simulation does not
+// execute real instructions, so PC stands in for the resume point (the
+// epoch) and SP for the stack anchor.
+type RegState struct {
+	TID uint32
+	PC  uint64
+	SP  uint64
+}
+
+// FileState is one entry of the open CIOD file table: enough to reopen
+// the file and seek back to the mirrored offset on restart.
+type FileState struct {
+	FD     int32
+	Offset uint64
+	Flags  uint64
+	Path   string
+}
+
+// RegionDigest is the digest recorded for a region's (modelled) contents.
+func RegionDigest(name string, vbase, size uint64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%#x|%d", name, vbase, size)
+	return h.Sum64()
+}
+
+// Marshal encodes the image.
+func (img *Image) Marshal() []byte {
+	e := &cenc{}
+	e.u32(imageMagic)
+	e.u8(imageVersion)
+	e.u32(uint32(img.JobID))
+	e.u32(img.Epoch)
+	e.u8(img.Kind)
+	// Counter-block dimensions are part of the format: an image written
+	// by a kernel with a different UPC layout must not decode silently.
+	e.u8(upc.NumSlots)
+	e.u8(uint8(upc.NumCounters))
+	e.u8(upc.MaxSyscalls)
+	e.u32(uint32(len(img.Nodes)))
+	for i := range img.Nodes {
+		n := &img.Nodes[i]
+		e.u32(uint32(n.Node))
+		e.u32(uint32(len(n.Regions)))
+		for _, r := range n.Regions {
+			e.u64(r.VBase)
+			e.u64(r.Size)
+			e.u64(r.Digest)
+		}
+		e.u32(uint32(len(n.Threads)))
+		for _, t := range n.Threads {
+			e.u32(t.TID)
+			e.u64(t.PC)
+			e.u64(t.SP)
+		}
+		for sl := 0; sl < upc.NumSlots; sl++ {
+			for c := 0; c < int(upc.NumCounters); c++ {
+				e.u64(n.Counters.Vals[sl][c])
+			}
+			for s := 0; s < upc.MaxSyscalls; s++ {
+				e.u64(n.Counters.Sys[sl][s])
+			}
+		}
+		e.u32(uint32(len(n.Files)))
+		for _, f := range n.Files {
+			e.u32(uint32(f.FD))
+			e.u64(f.Offset)
+			e.u64(f.Flags)
+			e.str(f.Path)
+		}
+	}
+	return e.b
+}
+
+// Unmarshal decodes and validates a checkpoint image. It rejects bad
+// magic, unknown versions, mismatched counter dimensions, every form of
+// truncation and length-prefix abuse, unsorted or overlapping regions,
+// unsorted threads or files, and trailing bytes. Any accepted input
+// re-marshals to the identical byte string.
+func Unmarshal(b []byte) (*Image, error) {
+	d := &cdec{b: b}
+	if m := d.u32(); d.err == nil && m != imageMagic {
+		return nil, fmt.Errorf("ckpt: bad image magic %#x", m)
+	}
+	if v := d.u8(); d.err == nil && v != imageVersion {
+		return nil, fmt.Errorf("ckpt: unsupported image version %d", v)
+	}
+	img := &Image{}
+	img.JobID = int32(d.u32())
+	img.Epoch = d.u32()
+	img.Kind = d.u8()
+	slots, counters, syscalls := d.u8(), d.u8(), d.u8()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if slots != upc.NumSlots || counters != uint8(upc.NumCounters) || syscalls != upc.MaxSyscalls {
+		return nil, fmt.Errorf("ckpt: counter dimensions %d/%d/%d do not match this kernel (%d/%d/%d)",
+			slots, counters, syscalls, upc.NumSlots, upc.NumCounters, upc.MaxSyscalls)
+	}
+	nodes := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nodes > MaxNodes {
+		return nil, fmt.Errorf("ckpt: image claims %d nodes (max %d)", nodes, MaxNodes)
+	}
+	// A node costs at least 9 bytes on the wire even when empty; bound the
+	// allocation by what the buffer could actually hold.
+	if nodes > len(b) {
+		return nil, fmt.Errorf("ckpt: image claims %d nodes in %d bytes", nodes, len(b))
+	}
+	img.Nodes = make([]NodeState, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		n, err := d.node()
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && n.Node <= img.Nodes[i-1].Node {
+			return nil, fmt.Errorf("ckpt: node %d out of order after node %d", n.Node, img.Nodes[i-1].Node)
+		}
+		img.Nodes = append(img.Nodes, n)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes after image", len(d.b)-d.off)
+	}
+	return img, nil
+}
+
+func (d *cdec) node() (NodeState, error) {
+	var n NodeState
+	n.Node = int32(d.u32())
+	regions := int(d.u32())
+	if d.err != nil {
+		return n, d.err
+	}
+	if regions > MaxRegions {
+		return n, fmt.Errorf("ckpt: node %d claims %d regions (max %d)", n.Node, regions, MaxRegions)
+	}
+	if regions*24 > len(d.b)-d.off {
+		return n, fmt.Errorf("ckpt: node %d region table truncated", n.Node)
+	}
+	n.Regions = make([]Region, 0, regions)
+	for r := 0; r < regions; r++ {
+		reg := Region{VBase: d.u64(), Size: d.u64(), Digest: d.u64()}
+		if d.err != nil {
+			return n, d.err
+		}
+		if reg.Size == 0 {
+			return n, fmt.Errorf("ckpt: node %d region %d has zero size", n.Node, r)
+		}
+		if reg.VBase+reg.Size < reg.VBase {
+			return n, fmt.Errorf("ckpt: node %d region %d wraps the address space", n.Node, r)
+		}
+		if r > 0 {
+			prev := n.Regions[r-1]
+			if reg.VBase < prev.VBase+prev.Size {
+				return n, fmt.Errorf("ckpt: node %d region %d overlaps or precedes region %d", n.Node, r, r-1)
+			}
+		}
+		n.Regions = append(n.Regions, reg)
+	}
+	threads := int(d.u32())
+	if d.err != nil {
+		return n, d.err
+	}
+	if threads > MaxThreads {
+		return n, fmt.Errorf("ckpt: node %d claims %d threads (max %d)", n.Node, threads, MaxThreads)
+	}
+	if threads*20 > len(d.b)-d.off {
+		return n, fmt.Errorf("ckpt: node %d thread table truncated", n.Node)
+	}
+	n.Threads = make([]RegState, 0, threads)
+	for t := 0; t < threads; t++ {
+		ts := RegState{TID: d.u32(), PC: d.u64(), SP: d.u64()}
+		if d.err != nil {
+			return n, d.err
+		}
+		if t > 0 && ts.TID <= n.Threads[t-1].TID {
+			return n, fmt.Errorf("ckpt: node %d thread %d out of order", n.Node, t)
+		}
+		n.Threads = append(n.Threads, ts)
+	}
+	for sl := 0; sl < upc.NumSlots; sl++ {
+		for c := 0; c < int(upc.NumCounters); c++ {
+			n.Counters.Vals[sl][c] = d.u64()
+		}
+		for s := 0; s < upc.MaxSyscalls; s++ {
+			n.Counters.Sys[sl][s] = d.u64()
+		}
+	}
+	files := int(d.u32())
+	if d.err != nil {
+		return n, d.err
+	}
+	if files > MaxFiles {
+		return n, fmt.Errorf("ckpt: node %d claims %d open files (max %d)", n.Node, files, MaxFiles)
+	}
+	if files*24 > len(d.b)-d.off {
+		return n, fmt.Errorf("ckpt: node %d file table truncated", n.Node)
+	}
+	n.Files = make([]FileState, 0, files)
+	for f := 0; f < files; f++ {
+		fe := FileState{FD: int32(d.u32()), Offset: d.u64(), Flags: d.u64(), Path: d.str()}
+		if d.err != nil {
+			return n, d.err
+		}
+		if fe.FD < 0 {
+			return n, fmt.Errorf("ckpt: node %d file %d has negative descriptor", n.Node, f)
+		}
+		if f > 0 && fe.FD <= n.Files[f-1].FD {
+			return n, fmt.Errorf("ckpt: node %d file %d out of order", n.Node, f)
+		}
+		n.Files = append(n.Files, fe)
+	}
+	return n, d.err
+}
+
+// WorkSignature digests the counters that are a pure function of the
+// application's logical execution: per-number syscall counts, function
+// ships, network packets and bytes, DMA descriptors, combining-tree
+// operations, futex traffic, and page faults. Counters that legitimately
+// differ across a checkpoint/restart cycle — cache hits and misses, TLB
+// refills, refresh stalls, timer ticks, daemon runs, retries and RAS
+// reactions, all of which depend on microarchitectural state or absolute
+// time that a restart does not preserve — are excluded. A job that
+// restarts N times must WorkSignature-equal its fault-free run; that is
+// the restart-determinism property the resilience tests gate.
+func WorkSignature(s upc.Snapshot) uint64 {
+	h := fnv.New64a()
+	for _, c := range workCounters {
+		for sl := 0; sl < upc.NumSlots; sl++ {
+			fmt.Fprintf(h, "%d|%d|%d;", c, sl, s.Vals[sl][c])
+		}
+	}
+	for sl := 0; sl < upc.NumSlots; sl++ {
+		for n := 0; n < upc.MaxSyscalls; n++ {
+			fmt.Fprintf(h, "s%d|%d|%d;", sl, n, s.Sys[sl][n])
+		}
+	}
+	return h.Sum64()
+}
+
+var workCounters = []upc.Counter{
+	upc.PageFault, upc.SyscallTotal, upc.FunctionShip,
+	upc.DMADescriptor, upc.TorusPacket, upc.TorusBytes,
+	upc.CollPacket, upc.CollBytes, upc.CombineOp,
+	upc.FutexWait, upc.FutexWake,
+}
+
+type cenc struct{ b []byte }
+
+func (e *cenc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *cenc) u32(v uint32) { e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+func (e *cenc) u64(v uint64) {
+	e.u32(uint32(v))
+	e.u32(uint32(v >> 32))
+}
+func (e *cenc) str(s string) {
+	if len(s) > MaxPath {
+		s = s[:MaxPath]
+	}
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type cdec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *cdec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("ckpt: truncated image at offset %d", d.off)
+	}
+}
+
+func (d *cdec) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *cdec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	b := d.b[d.off:]
+	d.off += 4
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (d *cdec) u64() uint64 {
+	lo := d.u32()
+	hi := d.u32()
+	return uint64(lo) | uint64(hi)<<32
+}
+
+func (d *cdec) str() string {
+	n := int(d.u32())
+	if d.err != nil {
+		return ""
+	}
+	// Bound the allocation by both the path cap and the bytes actually
+	// present (a hostile length must not drive a huge allocation).
+	if n > MaxPath || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}

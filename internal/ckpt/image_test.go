@@ -1,0 +1,224 @@
+package ckpt
+
+import (
+	"strings"
+	"testing"
+
+	"bgcnk/internal/upc"
+)
+
+// testImage is a representative two-node image: CNK-shaped regions on one
+// node, FWK-shaped page runs on the other, threads, counters and files.
+func testImage() *Image {
+	var c1, c2 upc.Snapshot
+	c1.Vals[0][upc.SyscallTotal] = 17
+	c1.Sys[0][4] = 9
+	c2.Vals[1][upc.TorusPacket] = 123456
+	return &Image{
+		JobID: 7,
+		Epoch: 3,
+		Kind:  1,
+		Nodes: []NodeState{
+			{
+				Node: 0,
+				Regions: []Region{
+					{VBase: 0x0100_0000, Size: 8 << 20, Digest: RegionDigest("text", 0x0100_0000, 8<<20)},
+					{VBase: 0x0900_0000, Size: 64 << 20, Digest: RegionDigest("heap", 0x0900_0000, 64<<20)},
+				},
+				Threads:  []RegState{{TID: 1, PC: 3, SP: 0x0d00_0000}, {TID: 2, PC: 3, SP: 0x0cf0_0000}},
+				Counters: c1,
+				Files: []FileState{
+					{FD: 0, Offset: 0, Flags: 0, Path: "/dev/console"},
+					{FD: 3, Offset: 4096, Flags: 1, Path: "/gpfs/out.dat"},
+				},
+			},
+			{
+				Node: 1,
+				Regions: []Region{
+					{VBase: 0x1000, Size: 4096, Digest: RegionDigest("fwk", 0x1000, 4096)},
+					{VBase: 0x3000, Size: 8192, Digest: RegionDigest("fwk", 0x3000, 8192)},
+				},
+				Threads:  []RegState{{TID: 1, PC: 3, SP: 0x7fff_f000}},
+				Counters: c2,
+			},
+		},
+	}
+}
+
+func imagesEqual(a, b *Image) bool {
+	if a.JobID != b.JobID || a.Epoch != b.Epoch || a.Kind != b.Kind || len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for i := range a.Nodes {
+		x, y := &a.Nodes[i], &b.Nodes[i]
+		if x.Node != y.Node || x.Counters != y.Counters ||
+			len(x.Regions) != len(y.Regions) || len(x.Threads) != len(y.Threads) ||
+			len(x.Files) != len(y.Files) {
+			return false
+		}
+		for j := range x.Regions {
+			if x.Regions[j] != y.Regions[j] {
+				return false
+			}
+		}
+		for j := range x.Threads {
+			if x.Threads[j] != y.Threads[j] {
+				return false
+			}
+		}
+		for j := range x.Files {
+			if x.Files[j] != y.Files[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	img := testImage()
+	wire := img.Marshal()
+	got, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !imagesEqual(img, got) {
+		t.Fatalf("round trip changed image:\n%+v\nvs\n%+v", img, got)
+	}
+	// Canonical: re-marshal is byte-identical.
+	if string(got.Marshal()) != string(wire) {
+		t.Fatal("re-marshal differs from original wire bytes")
+	}
+
+	// The empty image round-trips too.
+	empty := &Image{}
+	got, err = Unmarshal(empty.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !imagesEqual(empty, got) {
+		t.Fatalf("empty image round trip: %+v", got)
+	}
+}
+
+func TestImageRejects(t *testing.T) {
+	wire := testImage().Marshal()
+
+	for cut := 0; cut < len(wire); cut++ {
+		if _, err := Unmarshal(wire[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, err := Unmarshal(append(append([]byte{}, wire...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := f(append([]byte{}, wire...))
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	mutate("bad magic", func(b []byte) []byte { b[0] ^= 0x01; return b })
+	mutate("unknown version", func(b []byte) []byte { b[4] = imageVersion + 1; return b })
+	mutate("wrong slot dimension", func(b []byte) []byte { b[14] = upc.NumSlots + 1; return b })
+	// Offset 17..20 is the node count; a hostile value must be rejected
+	// before any proportional allocation.
+	mutate("hostile node count", func(b []byte) []byte {
+		b[17], b[18], b[19], b[20] = 0xff, 0xff, 0xff, 0x7f
+		return b
+	})
+	// Offset 25..28 is node 0's region count.
+	mutate("hostile region count", func(b []byte) []byte {
+		b[25], b[26], b[27], b[28] = 0xff, 0xff, 0xff, 0x7f
+		return b
+	})
+
+	reject := func(name string, img *Image) {
+		if _, err := Unmarshal(img.Marshal()); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	bad := testImage()
+	bad.Nodes[0].Regions[1].VBase = bad.Nodes[0].Regions[0].VBase + 1 // inside region 0
+	reject("overlapping regions", bad)
+
+	bad = testImage()
+	bad.Nodes[0].Regions[0], bad.Nodes[0].Regions[1] = bad.Nodes[0].Regions[1], bad.Nodes[0].Regions[0]
+	reject("unsorted regions", bad)
+
+	bad = testImage()
+	bad.Nodes[0].Regions[0].Size = 0
+	reject("zero-size region", bad)
+
+	bad = testImage()
+	bad.Nodes[0].Regions[1].VBase = ^uint64(0) - 16
+	reject("address-wrapping region", bad)
+
+	bad = testImage()
+	bad.Nodes[0].Threads[1].TID = bad.Nodes[0].Threads[0].TID
+	reject("duplicate thread IDs", bad)
+
+	bad = testImage()
+	bad.Nodes[0].Files[1].FD = bad.Nodes[0].Files[0].FD
+	reject("duplicate descriptors", bad)
+
+	bad = testImage()
+	bad.Nodes[1].Node = bad.Nodes[0].Node
+	reject("duplicate nodes", bad)
+
+	bad = testImage()
+	bad.Nodes[0].Files[0].FD = -1
+	reject("negative descriptor", bad)
+}
+
+func TestImagePathCap(t *testing.T) {
+	img := &Image{Nodes: []NodeState{{
+		Node:  0,
+		Files: []FileState{{FD: 0, Path: strings.Repeat("p", MaxPath+100)}},
+	}}}
+	got, err := Unmarshal(img.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes[0].Files[0].Path) != MaxPath {
+		t.Errorf("path cap not applied: %d bytes survived", len(got.Nodes[0].Files[0].Path))
+	}
+}
+
+// TestWorkSignatureSelectivity: the signature must move with work
+// counters (syscalls, network traffic, page faults) and must NOT move
+// with the counters a restart legitimately perturbs (cache misses, timer
+// ticks, RAS reactions, retries).
+func TestWorkSignatureSelectivity(t *testing.T) {
+	var s upc.Snapshot
+	base := WorkSignature(s)
+
+	moved := s
+	moved.Vals[0][upc.SyscallTotal]++
+	if WorkSignature(moved) == base {
+		t.Error("signature ignores SyscallTotal")
+	}
+	moved = s
+	moved.Vals[2][upc.TorusBytes] += 4096
+	if WorkSignature(moved) == base {
+		t.Error("signature ignores TorusBytes")
+	}
+	moved = s
+	moved.Sys[0][3]++
+	if WorkSignature(moved) == base {
+		t.Error("signature ignores per-number syscall counts")
+	}
+
+	for _, c := range []upc.Counter{
+		upc.L1Miss, upc.L3Miss, upc.TLBMiss, upc.RefreshStall, upc.TimerTick,
+		upc.DaemonRun, upc.CIODRetry, upc.CIODTimeout,
+		upc.RASCorrectable, upc.RASUncorrectable, upc.LinkCRC, upc.LinkRetransmit,
+	} {
+		jitter := s
+		jitter.Vals[0][c] += 1000
+		if WorkSignature(jitter) != base {
+			t.Errorf("signature moves with restart-variant counter %v", c)
+		}
+	}
+}

@@ -84,6 +84,9 @@ type Config struct {
 	Faults *ras.Plan
 	// Stripped selects the stripped FWK image (smaller, faster boot).
 	Stripped bool
+	// Ckpt arms checkpoint/restart: jobs snapshot at exchange-round
+	// boundaries and fault-killed jobs restart from their last image.
+	Ckpt CkptConfig
 }
 
 // ServiceNode is the control system's brain: it owns the midplane map and

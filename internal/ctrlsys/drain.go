@@ -22,6 +22,17 @@ type DrainResult struct {
 	RASHash   uint64 // fold of per-job boot-relative hashes, job-ID order
 	Failures  int
 
+	// Errs carries typed per-job failures in job-ID order; a job that
+	// exhausts its restart budget contributes an error wrapping
+	// ErrRestartBudgetExhausted (test with errors.Is). Empty when every
+	// job completed.
+	Errs []error
+	// Restarts and Wasted aggregate the resilience layer's work: restart
+	// attempts performed and partition occupancy burned by failed
+	// attempts (both zero with checkpointing off).
+	Restarts int
+	Wasted   sim.Cycles
+
 	Workers int
 	// Wall is host time spent simulating — the one field that is NOT
 	// deterministic and is excluded from Signature. Serial vs parallel
@@ -49,6 +60,10 @@ func (s *ServiceNode) Drain(jobs []Job) (*DrainResult, error) {
 		}
 	}
 	res := &DrainResult{Results: make([]*JobResult, len(jobs)), Workers: workers}
+	runOne := s.runJob
+	if s.cfg.Ckpt.Enabled {
+		runOne = s.runJobResilient
+	}
 	start := time.Now()
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
@@ -58,7 +73,7 @@ func (s *ServiceNode) Drain(jobs []Job) (*DrainResult, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res.Results[i] = s.runJob(jobs[i])
+			res.Results[i] = runOne(jobs[i])
 		}(i)
 	}
 	wg.Wait()
@@ -71,19 +86,31 @@ func (s *ServiceNode) Drain(jobs []Job) (*DrainResult, error) {
 		snaps = append(snaps, r.Counters)
 		res.RASEvents += r.RASEvents
 		hash = hash*1099511628211 ^ r.RASHash
+		res.Restarts += r.Restarts
+		res.Wasted += r.Wasted
 		if r.Failed() {
 			res.Failures++
+		}
+		if r.BudgetExhausted {
+			res.Errs = append(res.Errs, fmt.Errorf(
+				"job %d (%s): %w after %d attempts",
+				r.Job.ID, r.Job.Name, ErrRestartBudgetExhausted, len(r.Attempts)))
 		}
 	}
 	res.RASHash = hash
 	res.Merged = upc.Merge(snaps...)
-	res.Sched = ScheduleFIFOBackfill(s.topo, jobs, func(id int) sim.Cycles {
+	dur := func(id int) sim.Cycles {
 		d := res.Results[id].Duration()
 		if d == 0 {
 			d = 1 // a job that died before booting still occupies its block briefly
 		}
 		return d
-	})
+	}
+	if s.cfg.Ckpt.Enabled {
+		res.Sched = ScheduleResilient(s.topo, jobs, res.Results, s.cfg.Ckpt.normalized())
+	} else {
+		res.Sched = ScheduleFIFOBackfill(s.topo, jobs, dur)
+	}
 	return res, nil
 }
 
@@ -108,6 +135,16 @@ func (r *DrainResult) Signature() uint64 {
 			fmt.Fprintf(h, "%d,", c)
 		}
 		fmt.Fprintf(h, "%s|", jr.Counters.Text())
+		// Restart history enters the signature only when there is one, so
+		// checkpoint-off drains keep their pre-resilience signatures.
+		if jr.Restarts > 0 || jr.BudgetExhausted {
+			fmt.Fprintf(h, "restarts%d|wasted%d|overhead%d|exhausted%v|",
+				jr.Restarts, jr.Wasted, jr.RestartOverhead, jr.BudgetExhausted)
+			for _, a := range jr.Attempts {
+				fmt.Fprintf(h, "att%d|%d|%d|%d|%v|", a.Run, a.Backoff,
+					a.ResumeEpoch, a.FaultMidplane, a.Completed)
+			}
+		}
 	}
 	fmt.Fprintf(h, "merged|%s|", r.Merged.Text())
 	for _, p := range r.Sched.Placements {

@@ -91,12 +91,22 @@ type JobResult struct {
 	RASEvents uint64
 	RASHash   uint64 // boot-relative event-stream hash
 	Err       string // simulation error, empty on success
+
+	// Resilience accounting (zero unless checkpointing is armed; the
+	// fields below describe the restart history, not the final state).
+	Attempts        []Attempt
+	Restarts        int        // restarts actually performed
+	Wasted          sim.Cycles // partition occupancy burned by failed attempts
+	RestartOverhead sim.Cycles // Wasted plus service-node backoffs
+	BudgetExhausted bool       // failed even after MaxRestarts restarts
 }
 
-// Duration is how long the partition is occupied: boot protocol, the run
-// itself, and teardown. The queue scheduler charges this much block time.
+// Duration is how long the partition is occupied: boot protocol, the
+// (final) run, teardown, and — when the job restarted — everything the
+// failed attempts and backoffs burned. The queue scheduler charges this
+// much block time.
 func (r *JobResult) Duration() sim.Cycles {
-	return r.Boot.Total + r.Run + r.Teardown
+	return r.Boot.Total + r.Run + r.Teardown + r.RestartOverhead
 }
 
 // Failed reports whether the job ended badly (error or nonzero exit).

@@ -13,6 +13,9 @@ type Placement struct {
 	Midplanes  int
 	Start, End sim.Cycles
 	Backfilled bool
+	// Attempt is which restart attempt this placement carries (0 for the
+	// only attempt; ScheduleResilient records the final attempt's slot).
+	Attempt int
 }
 
 // Schedule is the control-time replay of the queue: when each job's
@@ -24,6 +27,11 @@ type Schedule struct {
 	// Utilization is occupied midplane-cycles over machine
 	// midplane-cycles across the makespan.
 	Utilization float64
+	// Drained lists midplanes blacklisted for accumulating uncorrectable
+	// faults, in drain order; Resubmits counts failed attempts that
+	// re-entered the queue. Both are zero-valued outside ScheduleResilient.
+	Drained   []int
+	Resubmits int
 }
 
 // ScheduleFIFOBackfill replays the job queue against the topology's

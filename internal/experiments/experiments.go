@@ -71,11 +71,12 @@ var Registry = map[string]Runner{
 	"throughput": RunThroughput,
 	"repro":      RunRepro,
 	"faults":     RunFaults,
+	"mtbf":       RunMTBF,
 	"ablations":  RunAblations,
 }
 
 // Order lists the artifacts in paper order.
-var Order = []string{"fig5-7", "table1", "fig8", "linpack", "allreduce", "table2", "table3", "boot", "throughput", "repro", "faults", "ablations"}
+var Order = []string{"fig5-7", "table1", "fig8", "linpack", "allreduce", "table2", "table3", "boot", "throughput", "repro", "faults", "mtbf", "ablations"}
 
 // RunAll executes every experiment in paper order.
 func RunAll(opt Options) ([]*Result, error) {

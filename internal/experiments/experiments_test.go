@@ -31,6 +31,7 @@ func TestRunTable3(t *testing.T)    { r, err := RunTable3(quick); check(t, r, er
 func TestRunBoot(t *testing.T)      { r, err := RunBoot(quick); check(t, r, err) }
 func TestRunRepro(t *testing.T)     { r, err := RunRepro(quick); check(t, r, err) }
 func TestRunFaults(t *testing.T)    { r, err := RunFaults(quick); check(t, r, err) }
+func TestRunMTBF(t *testing.T)      { r, err := RunMTBF(quick); check(t, r, err) }
 
 func TestRunAblations(t *testing.T) { r, err := RunAblations(quick); check(t, r, err) }
 

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"runtime"
+
+	"bgcnk/internal/ctrlsys"
+	"bgcnk/internal/machine"
+	"bgcnk/internal/ras"
+	"bgcnk/internal/sim"
+)
+
+// mtbfNoCkptInterval is far beyond any job's exchange count, so the
+// "checkpointing off" arm runs the identical resilient workload but never
+// takes a snapshot: every restart is a cold start, and — because the
+// rewound fault schedule replays the identical kill — a job that dies
+// once dies on every incarnation. That is the counterfactual the sweep
+// measures checkpointing against.
+const mtbfNoCkptInterval = 1 << 20
+
+// mtbfJobs are long enough (6-9 exchange rounds, checkpoint every round)
+// that a mid-life kill leaves a checkpoint worth resuming from. The
+// generator's 1-3 round jobs would mostly die before their first
+// snapshot, which tests the restart budget, not the checkpoint.
+func mtbfJobs(n int) []ctrlsys.Job {
+	all := []ctrlsys.Job{
+		{ID: 0, Name: "mtbf000", Midplanes: 1, Work: 20_000, Exchanges: 8, IOBytes: 512},
+		{ID: 1, Name: "mtbf001", Midplanes: 2, Work: 30_000, Exchanges: 6, IOBytes: 256},
+		{ID: 2, Name: "mtbf002", Midplanes: 1, Work: 25_000, Exchanges: 8, IOBytes: 512},
+		{ID: 3, Name: "mtbf003", Midplanes: 1, Work: 15_000, Exchanges: 7, IOBytes: 0},
+		{ID: 4, Name: "mtbf004", Midplanes: 2, Work: 22_000, Exchanges: 9, IOBytes: 128},
+		{ID: 5, Name: "mtbf005", Midplanes: 1, Work: 18_000, Exchanges: 6, IOBytes: 256},
+	}
+	return all[:n]
+}
+
+// mtbfPlan arms the job-killing fault class at the swept rate. CNK kills
+// the job on its first uncorrectable by design; the FWK normally scrubs
+// them, so the panic cadence makes every one fatal there too — the sweep
+// compares checkpointing, not fault tolerance philosophy.
+func mtbfPlan(kind machine.KernelKind, rate float64) *ras.Plan {
+	if rate == 0 {
+		return nil
+	}
+	p := &ras.Plan{Seed: 0x6b1f, DDRUncorrectable: rate}
+	if kind == machine.KindFWK {
+		p.FWKPanicEvery = 1
+	}
+	return p
+}
+
+func mtbfDrain(topo ctrlsys.Topology, kind machine.KernelKind, jobs []ctrlsys.Job,
+	rate float64, interval, workers int) (*ctrlsys.DrainResult, error) {
+	s := ctrlsys.New(ctrlsys.Config{
+		Topology: topo, Kind: kind, Seed: 1009, Workers: workers,
+		Faults: mtbfPlan(kind, rate),
+		Ckpt:   ctrlsys.CkptConfig{Enabled: true, Interval: interval},
+	})
+	return s.Drain(jobs)
+}
+
+// RunMTBF is the resilience experiment: sweep the uncorrectable-DDR fault
+// rate and drain the same job queue with checkpointing on (every exchange
+// round) and off (cold restarts only), for both kernels. Measured per
+// cell: completed jobs, restart attempts, wasted partition occupancy, and
+// time-to-solution (queue makespan). The paper's two claims under test:
+// checkpointing strictly improves the completion rate once faults are
+// nonzero (cold restarts replay the identical kill), and CNK's flat
+// memory map makes its snapshot strictly cheaper than the FWK's
+// flush-and-quiesce — measured directly as fault-free run-cycle overhead.
+func RunMTBF(opt Options) (*Result, error) {
+	topo := ctrlsys.Topology{Racks: 1, MidplanesPerRack: 2, NodesPerMidplane: 2}
+	jobs := mtbfJobs(6)
+	if opt.Quick {
+		jobs = mtbfJobs(4)
+	}
+	rates := []float64{0, 4e-3, 1e-2}
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 2 {
+		workers = 2
+	}
+
+	r := &Result{ID: "mtbf", Title: "Checkpoint/restart under a fault-rate sweep (completion, waste, time-to-solution)", Pass: true}
+	// The worker count is deliberately absent from the render: results are
+	// bit-identical at any worker count, and the render is golden-pinned.
+	r.addf("topology: %d midplanes x %d nodes, %d jobs, restart budget %d, checkpoint interval 1",
+		topo.Midplanes(), topo.NodesPerMidplane, len(jobs), 3)
+
+	type cell struct {
+		completed int
+		restarts  int
+		wasted    sim.Cycles
+		makespan  sim.Cycles
+		runTotal  sim.Cycles
+	}
+	// cells[kind][rate index][arm], arm 0 = ckpt on, arm 1 = off.
+	kinds := []struct {
+		kind machine.KernelKind
+		name string
+	}{
+		{machine.KindCNK, "CNK"},
+		{machine.KindFWK, "FWK"},
+	}
+	cells := make([][][2]cell, len(kinds))
+	for ki, k := range kinds {
+		cells[ki] = make([][2]cell, len(rates))
+		for ri, rate := range rates {
+			for arm, interval := range []int{1, mtbfNoCkptInterval} {
+				res, err := mtbfDrain(topo, k.kind, jobs, rate, interval, workers)
+				if err != nil {
+					return nil, err
+				}
+				c := cell{
+					completed: len(jobs) - res.Failures,
+					restarts:  res.Restarts,
+					wasted:    res.Wasted,
+					makespan:  res.Sched.Makespan,
+				}
+				for _, jr := range res.Results {
+					c.runTotal += jr.Run
+				}
+				cells[ki][ri][arm] = c
+				armName := "on "
+				if arm == 1 {
+					armName = "off"
+				}
+				r.addf("%s rate=%5.0e ckpt=%s: %d/%d completed, %2d restarts, wasted %8.3f ms, time-to-solution %8.3f ms",
+					k.name, rate, armName, c.completed, len(jobs), c.restarts,
+					c.wasted.Seconds()*1e3, c.makespan.Seconds()*1e3)
+			}
+		}
+	}
+
+	// Checkpointing must strictly improve completion at every nonzero
+	// rate, for both kernels: a killed job can only finish by resuming
+	// past the fault it already proved it cannot survive cold.
+	for ki, k := range kinds {
+		for ri, rate := range rates {
+			on, off := cells[ki][ri][0], cells[ki][ri][1]
+			if rate == 0 {
+				if on.completed != len(jobs) || off.completed != len(jobs) {
+					r.Pass = false
+					r.notef("%s fault-free: %d/%d (ckpt on) and %d/%d (off) completed — all must",
+						k.name, on.completed, len(jobs), off.completed, len(jobs))
+				}
+				continue
+			}
+			if on.completed <= off.completed {
+				r.Pass = false
+				r.notef("%s rate %.0e: checkpointing completed %d jobs vs %d without — must be strictly better",
+					k.name, rate, on.completed, off.completed)
+			}
+		}
+	}
+
+	// Checkpoint cost, measured the honest way: extra run cycles the
+	// fault-free drain pays for taking snapshots at all. CNK's single-pass
+	// copy of a flat address space must undercut the FWK's page-cache
+	// flush and daemon quiesce.
+	cnkOver := cells[0][0][0].runTotal - cells[0][0][1].runTotal
+	fwkOver := cells[1][0][0].runTotal - cells[1][0][1].runTotal
+	r.addf("checkpoint overhead (fault-free run cycles): CNK +%.3f ms vs FWK +%.3f ms (%.1fx)",
+		cnkOver.Seconds()*1e3, fwkOver.Seconds()*1e3, float64(fwkOver)/float64(cnkOver))
+	if cnkOver <= 0 || fwkOver <= 0 {
+		r.Pass = false
+		r.notef("checkpoint overhead not positive: CNK %d, FWK %d cycles", cnkOver, fwkOver)
+	}
+	if cnkOver >= fwkOver {
+		r.Pass = false
+		r.notef("CNK checkpoint overhead %d cycles not below FWK %d", cnkOver, fwkOver)
+	}
+
+	// Determinism spot check on the hardest cell (highest rate, ckpt on):
+	// the parallel drain must be bit-identical to the serial one.
+	for _, k := range kinds {
+		par, err := mtbfDrain(topo, k.kind, jobs, rates[len(rates)-1], 1, workers)
+		if err != nil {
+			return nil, err
+		}
+		serial, err := mtbfDrain(topo, k.kind, jobs, rates[len(rates)-1], 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		if par.Signature() != serial.Signature() {
+			r.Pass = false
+			r.notef("%s: parallel drain signature %016x != serial %016x — determinism broken",
+				k.name, par.Signature(), serial.Signature())
+		}
+	}
+	return r, nil
+}

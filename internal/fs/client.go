@@ -8,7 +8,11 @@ type OpenFile struct {
 	node   *inode
 	Offset uint64
 	Flags  uint64
-	refs   int
+	// Path is the resolved absolute path the description was opened by.
+	// Checkpoint images record it so a restarted ioproxy can reopen the
+	// file and seek back to the mirrored offset.
+	Path string
+	refs int
 }
 
 // Client is one process's view of a filesystem: its file-descriptor
@@ -123,7 +127,8 @@ func (c *Client) Open(path string, flags uint64, mode Mode) (int, kernel.Errno) 
 		truncate(n, 0)
 		n.mtime = c.FS.now()
 	}
-	of := &OpenFile{node: n, Flags: flags, refs: 1}
+	of := &OpenFile{node: n, Flags: flags, refs: 1,
+		Path: "/" + joinPath(splitPath(c.cwd, path))}
 	return c.allocFD(of)
 }
 
@@ -254,6 +259,66 @@ func (c *Client) Readdir(path string) ([]string, kernel.Errno) {
 // Truncate resizes a file by path.
 func (c *Client) Truncate(path string, size uint64) kernel.Errno {
 	return c.FS.Truncate(c.cwd, path, size, c.Cred)
+}
+
+// OpenFileState is one descriptor-table entry as a checkpoint records it:
+// enough to reopen the file on restart and seek back to the mirrored
+// offset. Dup'd descriptors are recorded (and restored) as independent
+// descriptions; the shared-offset relationship is not preserved across a
+// restart, matching what a path-based reopen can reconstruct.
+type OpenFileState struct {
+	FD     int
+	Offset uint64
+	Flags  uint64
+	Path   string
+}
+
+// OpenFiles returns the live descriptor table in ascending-fd order.
+func (c *Client) OpenFiles() []OpenFileState {
+	var out []OpenFileState
+	for fd, f := range c.fds {
+		if f != nil {
+			out = append(out, OpenFileState{FD: fd, Offset: f.Offset, Flags: f.Flags, Path: f.Path})
+		}
+	}
+	return out
+}
+
+// RestoreFiles rebuilds the descriptor table from a checkpoint: each
+// entry's path is reopened (create/truncate/excl bits stripped — the
+// restore must attach to the file as it exists now, not recreate it) at
+// the same descriptor number and the offset seeked back. Descriptors
+// whose files no longer resolve are reported; the rest still restore.
+func (c *Client) RestoreFiles(files []OpenFileState) kernel.Errno {
+	for _, f := range c.fds {
+		if f != nil {
+			f.refs--
+		}
+	}
+	c.fds = c.fds[:0]
+	errno := kernel.OK
+	for _, f := range files {
+		if f.FD < 0 || f.FD >= MaxFDs {
+			errno = kernel.EBADF
+			continue
+		}
+		flags := f.Flags &^ (kernel.OCreat | kernel.OTrunc | kernel.OExcl)
+		_, _, n, e := c.FS.resolve(c.cwd, f.Path, c.Cred, true, 0)
+		if e != kernel.OK || n == nil {
+			if errno == kernel.OK {
+				errno = kernel.ENOENT
+				if e != kernel.OK {
+					errno = e
+				}
+			}
+			continue
+		}
+		for len(c.fds) <= f.FD {
+			c.fds = append(c.fds, nil)
+		}
+		c.fds[f.FD] = &OpenFile{node: n, Offset: f.Offset, Flags: flags, Path: f.Path, refs: 1}
+	}
+	return errno
 }
 
 // OpenCount returns the number of live descriptors (for leak checks).

@@ -263,11 +263,22 @@ func (k *Kernel) MemEvent(t *kernel.Thread, ev hw.MemEvent, va hw.VAddr, write b
 		k.Eng.Trace().Record(k.Eng.Now(), k.tag(), "machine check: killing task")
 		k.exitThread(t, 128+int(kernel.SIGKILL))
 	case hw.EvDDRUncorrectable:
-		// The full-weight kernel absorbs the error in place: an in-kernel
-		// scrub-and-remap pass whose length depends on allocator state,
-		// modelled as kernel-RNG jitter. The task keeps running — at the
-		// cost of an unpredictable stall that widens OS noise, and a run
-		// that can never be replayed cycle-for-cycle.
+		// When the plan arms FWKPanicEvery, every Nth multi-bit error
+		// lands in state the kernel cannot scrub around (its own
+		// structures, a daemon's heap) and the node panics, killing the
+		// job — the fatal path the resilience experiments restart from.
+		if k.Chip.Faults != nil && k.Chip.Faults.FWKPanicDue() {
+			k.Eng.Trace().Record(k.Eng.Now(), k.tag(), "machine check: kernel panic, killing job")
+			k.Chip.Faults.Report(ras.JobKill, "fwk",
+				fmt.Sprintf("kernel panic on uncorrectable DDR error at va %#x", uint64(va)))
+			k.exitThread(t, 128+int(kernel.SIGBUS))
+			return
+		}
+		// Otherwise the full-weight kernel absorbs the error in place: an
+		// in-kernel scrub-and-remap pass whose length depends on allocator
+		// state, modelled as kernel-RNG jitter. The task keeps running —
+		// at the cost of an unpredictable stall that widens OS noise, and
+		// a run that can never be replayed cycle-for-cycle.
 		scrub := fwkScrubBase + k.rng.Cycles(fwkScrubJitter)
 		k.Eng.Trace().Record(k.Eng.Now(), k.tag(),
 			fmt.Sprintf("machine check: DDR scrub-and-remap, %d cycle stall", scrub))

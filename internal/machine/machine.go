@@ -91,6 +91,7 @@ type Machine struct {
 
 	inj  *ras.Injector
 	jobs []doneable
+	ck   ckptState
 }
 
 // New builds and boots the machine.
@@ -333,6 +334,7 @@ func (m *Machine) ResetFaults() {
 // counters and stale proxies, so back-to-back runs were not comparable.)
 func (m *Machine) ClearJobs() {
 	m.jobs = nil
+	m.clearCkptJobState()
 	for _, k := range m.CNKs {
 		k.ResetJobState()
 	}
@@ -364,6 +366,7 @@ func (m *Machine) ClearJobs() {
 func (m *Machine) Reboot() error {
 	m.Eng.RunUntilIdle()
 	m.ClearJobs()
+	m.disarmCheckpoints() // a rebooted partition forgets its schedule too
 	m.ResetFaults()
 	now := m.Eng.Now()
 	for i := range m.Servers {

@@ -110,7 +110,10 @@ func assertFactsEqual(t *testing.T, label string, got, want reuseFacts) {
 // TestRebootedMachineMatchesFresh is the reuse contract: build a machine,
 // run a job, Reboot, run the job again, and compare against the same job
 // on a machine built from scratch — under an armed fault injector, so the
-// fault schedule's rewind is covered too.
+// fault schedule's rewind is covered too. The machine also carries an
+// armed checkpoint schedule into the reboot: a rebooted partition must
+// forget it (a fresh machine never heard of the old job's schedule), and
+// the armed state itself must not perturb the job.
 func TestRebootedMachineMatchesFresh(t *testing.T) {
 	for _, kind := range []KernelKind{KindCNK, KindFWK} {
 		t.Run(kind.String(), func(t *testing.T) {
@@ -120,9 +123,13 @@ func TestRebootedMachineMatchesFresh(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer a.Shutdown()
+			a.ArmCheckpoints(7, 2)
 			first := runReuseJob(t, a)
 			if err := a.Reboot(); err != nil {
 				t.Fatal(err)
+			}
+			if a.CheckpointsArmed() || a.CheckpointInterval() != 0 || a.LastImage() != nil {
+				t.Error("rebooted machine still remembers a checkpoint schedule")
 			}
 			second := runReuseJob(t, a)
 
@@ -139,6 +146,51 @@ func TestRebootedMachineMatchesFresh(t *testing.T) {
 			// byte-identical to a fresh machine's first.
 			assertFactsEqual(t, "rebooted job 2 vs fresh job 1", second, fresh)
 		})
+	}
+}
+
+// TestClearJobsKeepsCheckpointSchedule pins the narrower ClearJobs
+// contract for the checkpoint layer: per-job residue (pending captures,
+// the sealed image, restore counts) is dropped, but the armed schedule
+// survives — ClearJobs clears job state, not machine configuration.
+// Reboot, by contrast, disarms everything.
+func TestClearJobsKeepsCheckpointSchedule(t *testing.T) {
+	m, err := New(Config{Nodes: 2, Kind: KindCNK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	m.ArmCheckpoints(3, 2)
+	app := func(ctx kernel.Context, env *Env) {
+		ctx.Compute(10_000)
+		m.CaptureNode(ctx, 1)
+	}
+	if err := m.Run(app, kernel.JobParams{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if img := m.SealCheckpoint(); img == nil || len(img.Nodes) != 2 {
+		t.Fatalf("sealed image %+v, want 2 nodes", img)
+	}
+	if m.LastImage() == nil {
+		t.Fatal("no last image after seal")
+	}
+
+	m.ClearJobs()
+	if !m.CheckpointsArmed() || m.CheckpointInterval() != 2 {
+		t.Error("ClearJobs dropped the armed checkpoint schedule")
+	}
+	if m.LastImage() != nil || m.Restores() != 0 {
+		t.Error("ClearJobs kept per-job checkpoint residue")
+	}
+	if img := m.SealCheckpoint(); img == nil || len(img.Nodes) != 0 {
+		t.Errorf("pending captures survived ClearJobs: %+v", img)
+	}
+
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	if m.CheckpointsArmed() || m.CheckpointInterval() != 0 {
+		t.Error("Reboot kept the checkpoint schedule armed")
 	}
 }
 

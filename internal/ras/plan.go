@@ -29,6 +29,17 @@ type Plan struct {
 	// ioproxy state lost.
 	CIODCrashEvery   uint64
 	CIODRestartDelay sim.Cycles
+
+	// FWKPanicEvery makes the FWK treat every Nth uncorrectable DDR error
+	// it observes as fatal (0 = never, the default: the FWK's scrub
+	// absorbs them all). The real full-weight kernel cannot always paper
+	// over a multi-bit error either — when the corrupted line belongs to
+	// kernel or daemon state the node panics — and the resilience
+	// experiments need that fatal path to compare restart behaviour
+	// across kernels. A deterministic counter rather than a probability:
+	// it must not consume RNG draws, so arming it cannot perturb the DDR
+	// fault schedule shared with CNK runs.
+	FWKPanicEvery uint64
 }
 
 // Enabled reports whether the plan injects anything.
@@ -130,6 +141,7 @@ type NodeFaults struct {
 
 	ddr, tlb, link, ciod *sim.RNG
 	served               uint64
+	uncorrSeen           uint64
 }
 
 func (f *NodeFaults) rewind() {
@@ -138,6 +150,7 @@ func (f *NodeFaults) rewind() {
 	f.link = f.in.stream(f.node, siteLink)
 	f.ciod = f.in.stream(f.node, siteCIOD)
 	f.served = 0
+	f.uncorrSeen = 0
 }
 
 func (f *NodeFaults) report(class Class, comp, detail string) {
@@ -223,6 +236,23 @@ func (f *NodeFaults) CrashDue() bool {
 	if f.served >= every {
 		f.served = 0
 		f.report(CIODCrash, "ciod", "daemon crashed, ioproxy state lost")
+		return true
+	}
+	return false
+}
+
+// FWKPanicDue counts one uncorrectable DDR error observed by an FWK and
+// reports whether this one is fatal under the plan's FWKPanicEvery
+// cadence. Purely a counter — no RNG draw — so the DDR schedule itself is
+// byte-identical whether or not the fatal path is armed.
+func (f *NodeFaults) FWKPanicDue() bool {
+	every := f.in.plan.FWKPanicEvery
+	if every == 0 {
+		return false
+	}
+	f.uncorrSeen++
+	if f.uncorrSeen >= every {
+		f.uncorrSeen = 0
 		return true
 	}
 	return false

@@ -166,3 +166,12 @@ func (s *Set) Reset() {
 func (s *Set) Snapshot() Snapshot {
 	return Snapshot{Vals: s.vals, Sys: s.sys}
 }
+
+// Load overwrites every counter with the values in sn. Checkpoint restore
+// uses this to roll the UPC block back to its value at the snapshot's
+// quiesce point, exactly as the real unit's counters are reloaded from a
+// saved image on restart.
+func (s *Set) Load(sn Snapshot) {
+	s.vals = sn.Vals
+	s.sys = sn.Sys
+}

@@ -2,8 +2,10 @@
 # Benchmark smoke: run the control-system micro-benchmarks and emit
 # BENCH_ctrlsys.json (modelled boot scaling, drained job throughput, and
 # the serial-vs-parallel wall-clock comparison with its bit-identity
-# check). Called from scripts/ci.sh as a non-gating smoke; run it by hand
-# with full sizes:
+# check) plus BENCH_resilience.json (per-kernel checkpoint latency,
+# restart overhead, and the completion-rate sweep over fault rates with
+# checkpointing on/off). Called from scripts/ci.sh as a non-gating smoke;
+# run it by hand with full sizes:
 #
 #   ./scripts/bench.sh          # quick (CI) sizes
 #   BENCH_FULL=1 ./scripts/bench.sh
@@ -19,4 +21,11 @@ if [ "${BENCH_FULL:-0}" = "1" ]; then
 	go run ./cmd/ctrlbench -out BENCH_ctrlsys.json
 else
 	go run ./cmd/ctrlbench -quick -out BENCH_ctrlsys.json
+fi
+
+echo "== resbench -> BENCH_resilience.json"
+if [ "${BENCH_FULL:-0}" = "1" ]; then
+	go run ./cmd/resbench -out BENCH_resilience.json
+else
+	go run ./cmd/resbench -quick -out BENCH_resilience.json
 fi

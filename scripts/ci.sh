@@ -20,7 +20,7 @@ echo "== go test -race"
 go test -race ./...
 
 echo "== fuzz seed-corpus regressions"
-go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/ ./internal/ctrlsys/
+go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/ ./internal/ctrlsys/ ./internal/ckpt/
 
 # The fault matrix is part of the -race suite above, but gate on it
 # explicitly: per-class fault determinism and the recovery-under-fault
@@ -37,6 +37,14 @@ go test -race -run 'TestParallelDrainMatchesSerial' ./internal/ctrlsys/
 go test -run 'TestRebootedMachineMatchesFresh' ./internal/machine/
 go test -run 'TestGolden/boot' ./internal/experiments/
 
+# Resilience contracts: a checkpoint/restart run must be bit-identical to
+# the fault-free run (work signature + exit codes, both kernels, under
+# -race), every fault class must recover or fail with the typed budget
+# error, and the mtbf sweep must match its golden byte-for-byte.
+echo "== resilience: restart determinism + mtbf golden"
+go test -race -run 'TestRestartDeterminism|TestResilienceFaultClassMatrix' ./internal/ctrlsys/
+go test -run 'TestGolden/mtbf' ./internal/experiments/
+
 echo "== benchmark smoke (non-gating)"
 ./scripts/bench.sh || echo "WARN: bench smoke failed (non-gating)"
 
@@ -45,6 +53,7 @@ if [ "$FUZZTIME" != "0" ]; then
 	go test -fuzz=FuzzFS -fuzztime="$FUZZTIME" ./internal/fs/
 	go test -fuzz=FuzzMarshal -fuzztime="$FUZZTIME" ./internal/ciod/
 	go test -fuzz=FuzzPersonality -fuzztime="$FUZZTIME" ./internal/ctrlsys/
+	go test -fuzz=FuzzCheckpointImage -fuzztime="$FUZZTIME" ./internal/ckpt/
 fi
 
 echo "CI gate passed."
