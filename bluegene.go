@@ -143,23 +143,40 @@ func MergeCounters(snaps ...CounterSnapshot) CounterSnapshot {
 // ExperimentResult is one regenerated paper artifact.
 type ExperimentResult = experiments.Result
 
+// ExperimentOptions scales experiment sizes and bounds the replica
+// worker pool the runners fan independent simulations across. Renders
+// are bit-identical at every worker count.
+type ExperimentOptions = experiments.Options
+
 // ExperimentIDs lists the paper artifacts, in paper order.
 func ExperimentIDs() []string { return append([]string(nil), experiments.Order...) }
 
-// Experiment regenerates one paper artifact ("fig5-7", "table1", "fig8",
-// "linpack", "allreduce", "table2", "table3", "boot", "repro"). quick
-// shrinks sample counts for fast runs.
-func Experiment(id string, quick bool) (*ExperimentResult, error) {
+// ExperimentOpt regenerates one paper artifact ("fig5-7", "table1",
+// "fig8", "linpack", "allreduce", "table2", "table3", "boot", "repro",
+// ...) with explicit options.
+func ExperimentOpt(id string, opt ExperimentOptions) (*ExperimentResult, error) {
 	r, ok := experiments.Registry[id]
 	if !ok {
 		return nil, fmt.Errorf("bluegene: unknown experiment %q (have %v)", id, experiments.Order)
 	}
-	return r(experiments.Options{Quick: quick})
+	return r(opt)
+}
+
+// Experiment regenerates one paper artifact. quick shrinks sample
+// counts for fast runs.
+func Experiment(id string, quick bool) (*ExperimentResult, error) {
+	return ExperimentOpt(id, ExperimentOptions{Quick: quick})
+}
+
+// AllExperimentsOpt regenerates every table and figure with explicit
+// options.
+func AllExperimentsOpt(opt ExperimentOptions) ([]*ExperimentResult, error) {
+	return experiments.RunAll(opt)
 }
 
 // AllExperiments regenerates every table and figure.
 func AllExperiments(quick bool) ([]*ExperimentResult, error) {
-	return experiments.RunAll(experiments.Options{Quick: quick})
+	return AllExperimentsOpt(ExperimentOptions{Quick: quick})
 }
 
 // ---- Control system ----

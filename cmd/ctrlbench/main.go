@@ -18,6 +18,7 @@ import (
 	"flag"
 
 	"bgcnk"
+	"bgcnk/internal/sim/replica"
 )
 
 type bootRow struct {
@@ -59,24 +60,23 @@ func main() {
 	if *quick {
 		counts = []int{32, 128}
 	}
-	for _, n := range counts {
+	// Each boot-scaling point is an independent replica; fan the sweep
+	// and keep the rows in node-count order.
+	rep.Boot = replica.Map(0, len(counts), func(i int) bootRow {
+		n := counts[i]
 		cb := bluegene.SimulateBoot(bluegene.BootConfig{Kind: bluegene.CNK, Nodes: n, NodesPerMidplane: 32})
 		fb := bluegene.SimulateBoot(bluegene.BootConfig{Kind: bluegene.FWK, Nodes: n, NodesPerMidplane: 32})
-		rep.Boot = append(rep.Boot, bootRow{
+		return bootRow{
 			Nodes: n,
 			CNKMs: cb.Total.Seconds() * 1e3, FWKMs: fb.Total.Seconds() * 1e3,
 			FWKOver: float64(fb.Total) / float64(cb.Total),
-		})
-	}
+		}
+	})
 
+	// The serial-vs-parallel drain comparison measures wall clock, so the
+	// drains themselves run one at a time.
 	topo := bluegene.Topology{Racks: 2, MidplanesPerRack: 2, NodesPerMidplane: 2}
-	workers := runtime.NumCPU()
-	if workers > 8 {
-		workers = 8
-	}
-	if workers < 2 {
-		workers = 2
-	}
+	workers := replica.DefaultWorkers()
 	kinds := []struct {
 		kind bluegene.KernelKind
 		name string

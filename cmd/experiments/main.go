@@ -1,15 +1,20 @@
 // Command experiments regenerates every table and figure in the paper's
 // evaluation section and prints the report that EXPERIMENTS.md records.
+// Runners fan independent simulation replicas (sweep points, repeated
+// runs, drained jobs) across a bounded worker pool; the output is
+// bit-identical at every -workers value, only the wall clock moves.
 //
 //	go run ./cmd/experiments            # full-size runs
 //	go run ./cmd/experiments -quick     # scaled-down (seconds)
 //	go run ./cmd/experiments -run fig8  # one artifact
+//	go run ./cmd/experiments -workers 1 # serial reference execution
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"bgcnk"
 )
@@ -17,24 +22,28 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "scaled-down sample counts")
 	run := flag.String("run", "", "run a single experiment id")
+	workers := flag.Int("workers", 0, "replica worker pool size (0 = one per CPU, clamped; 1 = serial)")
 	flag.Parse()
 
+	opt := bluegene.ExperimentOptions{Quick: *quick, Workers: *workers}
+	start := time.Now()
 	var results []*bluegene.ExperimentResult
 	if *run != "" {
-		r, err := bluegene.Experiment(*run, *quick)
+		r, err := bluegene.ExperimentOpt(*run, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		results = append(results, r)
 	} else {
-		rs, err := bluegene.AllExperiments(*quick)
+		rs, err := bluegene.AllExperimentsOpt(opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		results = rs
 	}
+	wall := time.Since(start)
 	failed := 0
 	for _, r := range results {
 		fmt.Println(r.Render())
@@ -42,7 +51,8 @@ func main() {
 			failed++
 		}
 	}
-	fmt.Printf("%d/%d artifacts reproduce the paper's shape\n", len(results)-failed, len(results))
+	fmt.Printf("%d/%d artifacts reproduce the paper's shape (%.1fs wall)\n",
+		len(results)-failed, len(results), wall.Seconds())
 	if failed > 0 {
 		os.Exit(1)
 	}

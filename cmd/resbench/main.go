@@ -19,6 +19,7 @@ import (
 	"runtime"
 
 	"bgcnk"
+	"bgcnk/internal/sim/replica"
 )
 
 // resilienceJobs are long enough (6-9 exchange rounds, checkpoint every
@@ -82,13 +83,7 @@ func main() {
 		jobs = resilienceJobs(4)
 		rates = []float64{0, 4e-3, 1e-2}
 	}
-	workers := runtime.NumCPU()
-	if workers > 8 {
-		workers = 8
-	}
-	if workers < 2 {
-		workers = 2
-	}
+	workers := replica.DefaultWorkers()
 	rep := benchReport{CPUs: runtime.NumCPU(), Workers: workers}
 
 	drain := func(kind bluegene.KernelKind, rate float64, interval, w int) *bluegene.DrainResult {
@@ -130,50 +125,55 @@ func main() {
 	for _, j := range jobs {
 		ckpts += j.Exchanges - 1
 	}
-	for _, k := range kinds {
+	// No row records wall time, so whole rows are independent replicas:
+	// fan the two checkpoint-cost measurements and every sweep cell, and
+	// keep both slices in sweep order.
+	rep.CkptCost = replica.Map(workers, len(kinds), func(ki int) ckptCostRow {
+		k := kinds[ki]
 		on := drain(k.kind, 0, 1, workers)
 		off := drain(k.kind, 0, noCkptInterval, workers)
 		over := runTotal(on) - runTotal(off)
-		rep.CkptCost = append(rep.CkptCost, ckptCostRow{
+		return ckptCostRow{
 			Kernel:          k.name,
 			Checkpoints:     ckpts,
 			TotalOverheadMs: over.Seconds() * 1e3,
 			PerCheckpointUs: over.Seconds() * 1e6 / float64(ckpts),
-		})
-	}
+		}
+	})
 
-	for _, k := range kinds {
-		for _, rate := range rates {
-			for _, interval := range []int{1, noCkptInterval} {
-				par := drain(k.kind, rate, interval, workers)
-				serial := drain(k.kind, rate, interval, 1)
-				identical := par.Signature() == serial.Signature()
-				completed := len(jobs) - par.Failures
-				restartUs := 0.0
-				if par.Restarts > 0 {
-					var over bluegene.Cycles
-					for _, jr := range par.Results {
-						over += jr.RestartOverhead
-					}
-					restartUs = over.Seconds() * 1e6 / float64(par.Restarts)
-				}
-				rep.Sweep = append(rep.Sweep, sweepRow{
-					Kernel: k.name, FaultRate: rate, Ckpt: interval == 1,
-					Jobs: len(jobs), Completed: completed,
-					CompletionRate: float64(completed) / float64(len(jobs)),
-					Restarts:       par.Restarts,
-					RestartUs:      restartUs,
-					WastedMs:       par.Wasted.Seconds() * 1e3,
-					MakespanMs:     par.Sched.Makespan.Seconds() * 1e3,
-					Identical:      identical,
-					Signature:      fmt.Sprintf("%016x", par.Signature()),
-				})
-				if !identical {
-					fmt.Fprintf(os.Stderr, "FATAL: %s rate=%g ckpt=%v parallel drain diverged from serial\n",
-						k.name, rate, interval == 1)
-					os.Exit(1)
-				}
+	intervals := []int{1, noCkptInterval}
+	rep.Sweep = replica.Map(workers, len(kinds)*len(rates)*len(intervals), func(idx int) sweepRow {
+		k := kinds[idx/(len(rates)*len(intervals))]
+		rate := rates[idx/len(intervals)%len(rates)]
+		interval := intervals[idx%len(intervals)]
+		par := drain(k.kind, rate, interval, workers)
+		serial := drain(k.kind, rate, interval, 1)
+		completed := len(jobs) - par.Failures
+		restartUs := 0.0
+		if par.Restarts > 0 {
+			var over bluegene.Cycles
+			for _, jr := range par.Results {
+				over += jr.RestartOverhead
 			}
+			restartUs = over.Seconds() * 1e6 / float64(par.Restarts)
+		}
+		return sweepRow{
+			Kernel: k.name, FaultRate: rate, Ckpt: interval == 1,
+			Jobs: len(jobs), Completed: completed,
+			CompletionRate: float64(completed) / float64(len(jobs)),
+			Restarts:       par.Restarts,
+			RestartUs:      restartUs,
+			WastedMs:       par.Wasted.Seconds() * 1e3,
+			MakespanMs:     par.Sched.Makespan.Seconds() * 1e3,
+			Identical:      par.Signature() == serial.Signature(),
+			Signature:      fmt.Sprintf("%016x", par.Signature()),
+		}
+	})
+	for _, s := range rep.Sweep {
+		if !s.Identical {
+			fmt.Fprintf(os.Stderr, "FATAL: %s rate=%g ckpt=%v parallel drain diverged from serial\n",
+				s.Kernel, s.FaultRate, s.Ckpt)
+			os.Exit(1)
 		}
 	}
 

@@ -1,0 +1,150 @@
+// Command simbench measures the simulation engine's hot paths and
+// writes a machine-readable report (BENCH_sim.json by default): event
+// scheduling, dense same-window dispatch, and sparse far-timer dispatch,
+// each on both the reference heap scheduler and the timer wheel, plus
+// the trace-record path. scripts/bench.sh runs it as CI's non-gating
+// benchmark smoke; the README's Performance section points here.
+//
+//	go run ./cmd/simbench                  # default benchtime
+//	go run ./cmd/simbench -quick -out ...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"bgcnk/internal/sim"
+)
+
+type row struct {
+	Workload    string  `json:"workload"`
+	Scheduler   string  `json:"scheduler"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	EventsPerS  float64 `json:"events_per_s"`
+}
+
+type report struct {
+	CPUs    int                `json:"host_cpus"`
+	Rows    []row              `json:"rows"`
+	Speedup map[string]float64 `json:"wheel_speedup"` // workload -> heap ns / wheel ns
+}
+
+// The three workload shapes mirror internal/sim/bench_test.go so the
+// JSON report and `go test -bench` measure the same thing.
+
+func benchSchedule(kind sim.SchedulerKind, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngineWith(sim.EngineConfig{Scheduler: kind})
+		e.Trace().SetEnabled(false)
+		rng := sim.NewRNG(1)
+		nop := func() {}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.After(rng.Cycles(100_000), nop)
+			if e.Pending() >= n {
+				e.Run(e.Now() + 50_000)
+			}
+		}
+	}
+}
+
+func benchStep(kind sim.SchedulerKind, spread sim.Cycles, live int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngineWith(sim.EngineConfig{Scheduler: kind})
+		e.Trace().SetEnabled(false)
+		rng := sim.NewRNG(2)
+		var tick func()
+		tick = func() { e.After(1+rng.Cycles(spread), tick) }
+		for i := 0; i < live; i++ {
+			e.After(1+rng.Cycles(spread), tick)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output path")
+	quick := flag.Bool("quick", false, "short benchtime for CI smoke")
+	flag.Parse()
+
+	queue, live := 8192, 512
+	if *quick {
+		queue, live = 1024, 128
+	}
+	workloads := []struct {
+		name string
+		mk   func(sim.SchedulerKind) func(b *testing.B)
+	}{
+		{"schedule", func(k sim.SchedulerKind) func(b *testing.B) { return benchSchedule(k, queue) }},
+		{"step_dense", func(k sim.SchedulerKind) func(b *testing.B) { return benchStep(k, 4, live) }},
+		{"step_sparse", func(k sim.SchedulerKind) func(b *testing.B) { return benchStep(k, 1_000_000_000, live) }},
+	}
+
+	rep := report{CPUs: runtime.NumCPU(), Speedup: map[string]float64{}}
+	heapNs := map[string]float64{}
+	for _, w := range workloads {
+		for _, kind := range []sim.SchedulerKind{sim.SchedHeap, sim.SchedWheel} {
+			r := testing.Benchmark(w.mk(kind))
+			nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+			rr := row{
+				Workload:    w.name,
+				Scheduler:   kind.String(),
+				NsPerOp:     nsPerOp,
+				AllocsPerOp: float64(r.AllocsPerOp()),
+				BytesPerOp:  float64(r.AllocedBytesPerOp()),
+			}
+			if nsPerOp > 0 {
+				rr.EventsPerS = 1e9 / nsPerOp
+			}
+			rep.Rows = append(rep.Rows, rr)
+			if kind == sim.SchedHeap {
+				heapNs[w.name] = nsPerOp
+			} else if nsPerOp > 0 {
+				rep.Speedup[w.name] = heapNs[w.name] / nsPerOp
+			}
+			fmt.Printf("%-12s %-6s %10.1f ns/op %6.1f allocs/op %12.0f events/s\n",
+				w.name, kind, rr.NsPerOp, rr.AllocsPerOp, rr.EventsPerS)
+		}
+	}
+	{
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			tr := sim.NewTrace()
+			for i := 0; i < b.N; i++ {
+				tr.Record(sim.Cycles(i), "core0", "tracepoint")
+			}
+		})
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		rr := row{Workload: "trace_record", Scheduler: "-", NsPerOp: nsPerOp,
+			AllocsPerOp: float64(r.AllocsPerOp()), BytesPerOp: float64(r.AllocedBytesPerOp())}
+		if nsPerOp > 0 {
+			rr.EventsPerS = 1e9 / nsPerOp
+		}
+		rep.Rows = append(rep.Rows, rr)
+		fmt.Printf("%-12s %-6s %10.1f ns/op %6.1f allocs/op %12.0f records/s\n",
+			rr.Workload, rr.Scheduler, rr.NsPerOp, rr.AllocsPerOp, rr.EventsPerS)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -3,10 +3,10 @@ package ctrlsys
 import (
 	"fmt"
 	"hash/fnv"
-	"sync"
 	"time"
 
 	"bgcnk/internal/sim"
+	"bgcnk/internal/sim/replica"
 	"bgcnk/internal/upc"
 )
 
@@ -65,18 +65,9 @@ func (s *ServiceNode) Drain(jobs []Job) (*DrainResult, error) {
 		runOne = s.runJobResilient
 	}
 	start := time.Now()
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res.Results[i] = runOne(jobs[i])
-		}(i)
-	}
-	wg.Wait()
+	res.Results = replica.Map(workers, len(jobs), func(i int) *JobResult {
+		return runOne(jobs[i])
+	})
 	res.Wall = time.Since(start)
 
 	// Deterministic merge, strictly in job-ID order.

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"bgcnk/internal/sim"
+	"bgcnk/internal/sim/replica"
 )
 
 // Result is one regenerated artifact.
@@ -50,9 +51,22 @@ func (r *Result) Render() string {
 
 // Options scales experiment sizes: Quick shrinks sample counts so the
 // whole suite runs in seconds (used by tests); the full sizes match the
-// paper's configurations.
+// paper's configurations. Workers bounds the replica pool the runners
+// fan independent simulations across (sweep points, repeated runs,
+// drain jobs); 0 means replica.DefaultWorkers, 1 is the serial
+// reference. Renders are bit-identical at every worker count — that
+// invariance is gated in CI (TestRenderWorkerInvariance).
 type Options struct {
-	Quick bool
+	Quick   bool
+	Workers int
+}
+
+// workers resolves Options.Workers to a concrete pool size.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return replica.DefaultWorkers()
 }
 
 // Runner produces one artifact.
@@ -78,15 +92,26 @@ var Registry = map[string]Runner{
 // Order lists the artifacts in paper order.
 var Order = []string{"fig5-7", "table1", "fig8", "linpack", "allreduce", "table2", "table3", "boot", "throughput", "repro", "faults", "mtbf", "ablations"}
 
-// RunAll executes every experiment in paper order.
+// RunAll executes every experiment and returns the results in paper
+// order. Runners are independent replicas (each builds its own engines
+// and machines), so they fan across the worker pool; the merge is in
+// Order, and on failure the successful prefix is returned with the
+// lowest-ordered error.
 func RunAll(opt Options) ([]*Result, error) {
+	type outcome struct {
+		r   *Result
+		err error
+	}
+	outs := replica.Map(opt.workers(), len(Order), func(i int) outcome {
+		r, err := Registry[Order[i]](opt)
+		return outcome{r, err}
+	})
 	var out []*Result
-	for _, id := range Order {
-		r, err := Registry[id](opt)
-		if err != nil {
-			return out, fmt.Errorf("%s: %v", id, err)
+	for i, o := range outs {
+		if o.err != nil {
+			return out, fmt.Errorf("%s: %v", Order[i], o.err)
 		}
-		out = append(out, r)
+		out = append(out, o.r)
 	}
 	return out, nil
 }

@@ -10,6 +10,7 @@ import (
 	"bgcnk/internal/machine"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/sim/replica"
 	"bgcnk/internal/upc"
 )
 
@@ -168,15 +169,27 @@ func RunFaults(opt Options) (*Result, error) {
 	}
 	r := &Result{ID: "faults", Title: "Stability under injected faults: CNK vs FWK at equal fault rates", Pass: true}
 
+	// Every faulty run is an independent replica (own machine, own fault
+	// streams), so both kernels' whole run batteries fan across the
+	// worker pool at once — flat index kind*runs+i — plus one same-seed
+	// replay per kernel tacked on at the end for the bit-identity check.
+	// All accounting happens after the barrier, in seed order.
+	kinds := []machine.KernelKind{machine.KindCNK, machine.KindFWK}
+	frs, err := replica.Run(opt.workers(), len(kinds)*runs+len(kinds), func(idx int) (faultRun, error) {
+		if idx >= len(kinds)*runs { // replay arm: seed 1 again
+			return faultyLinpackOnce(kinds[idx-len(kinds)*runs], 1, cfg)
+		}
+		return faultyLinpackOnce(kinds[idx/runs], uint64(idx%runs+1), cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var reps [2]faultRun
 	var cnkDone faultRun
 	done := map[machine.KernelKind]int{}
-	for _, kind := range []machine.KernelKind{machine.KindCNK, machine.KindFWK} {
+	for ki, kind := range kinds {
 		for i := 0; i < runs; i++ {
-			fr, err := faultyLinpackOnce(kind, uint64(i+1), cfg)
-			if err != nil {
-				return nil, err
-			}
+			fr := frs[ki*runs+i]
 			if fr.completed {
 				if kind == machine.KindCNK && done[kind] == 0 {
 					cnkDone = fr
@@ -188,10 +201,7 @@ func RunFaults(opt Options) (*Result, error) {
 				// The acceptance property: two runs at the same fault
 				// seed are bit-identical — same cycle total, same trace
 				// hash, same RAS log.
-				again, err := faultyLinpackOnce(kind, 1, cfg)
-				if err != nil {
-					return nil, err
-				}
+				again := frs[len(kinds)*runs+ki]
 				if again.now != fr.now || again.hash != fr.hash || again.rasHash != fr.rasHash {
 					r.Pass = false
 					r.notef("%v: same fault seed did not replay identically (wall %d vs %d cycles, ras %x vs %x)",

@@ -10,6 +10,7 @@ import (
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/machine"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/sim/replica"
 )
 
 // RunTable2 regenerates Table II via the capability probes.
@@ -45,28 +46,32 @@ func RunTable3(opt Options) (*Result, error) {
 // boot is near-flat in node count while an FWK's staggered per-node image
 // load grows linearly.
 func RunBoot(opt Options) (*Result, error) {
-	eng := sim.NewEngine()
-	ck := cnk.New(eng, hw.NewChip(hw.ChipConfig{ID: 0}), cnk.Config{Reproducible: true})
-	if err := ck.Boot(); err != nil {
-		return nil, err
-	}
-	eng2 := sim.NewEngine()
-	full := fwk.New(eng2, hw.NewChip(hw.ChipConfig{ID: 1}), fwk.Config{})
-	if err := full.Boot(); err != nil {
-		return nil, err
-	}
-	eng3 := sim.NewEngine()
-	strip := fwk.New(eng3, hw.NewChip(hw.ChipConfig{ID: 2}), fwk.Config{Stripped: true})
-	if err := strip.Boot(); err != nil {
+	// The three single-node boots are independent replicas (one engine
+	// and chip each); fan them and keep the rendered order fixed — this
+	// render is golden-pinned, so it must be byte-identical at any
+	// worker count.
+	boots, err := replica.Run(opt.workers(), 3, func(i int) (uint64, error) {
+		eng := sim.NewEngine()
+		chip := hw.NewChip(hw.ChipConfig{ID: i})
+		if i == 0 {
+			k := cnk.New(eng, chip, cnk.Config{Reproducible: true})
+			err := k.Boot()
+			return k.BootInstr, err
+		}
+		k := fwk.New(eng, chip, fwk.Config{Stripped: i == 2})
+		err := k.Boot()
+		return k.BootInstr, err
+	})
+	if err != nil {
 		return nil, err
 	}
 	r := &Result{ID: "boot", Title: "Boot: VHDL bring-up time and boot-protocol scaling (paper Section III)", Pass: true}
-	r.addf("%s", bringup.DescribeVHDLBoot("CNK", ck.BootInstr))
-	r.addf("%s", bringup.DescribeVHDLBoot("Linux (full)", full.BootInstr))
-	r.addf("%s", bringup.DescribeVHDLBoot("Linux (stripped)", strip.BootInstr))
-	cnkH := bringup.VHDLBootTime(ck.BootInstr)
-	fullH := bringup.VHDLBootTime(full.BootInstr)
-	stripH := bringup.VHDLBootTime(strip.BootInstr)
+	r.addf("%s", bringup.DescribeVHDLBoot("CNK", boots[0]))
+	r.addf("%s", bringup.DescribeVHDLBoot("Linux (full)", boots[1]))
+	r.addf("%s", bringup.DescribeVHDLBoot("Linux (stripped)", boots[2]))
+	cnkH := bringup.VHDLBootTime(boots[0])
+	fullH := bringup.VHDLBootTime(boots[1])
+	stripH := bringup.VHDLBootTime(boots[2])
 	if cnkH > 12 {
 		r.Pass = false
 		r.notef("CNK boot %.1fh is not 'a couple of hours'", cnkH)
@@ -88,15 +93,21 @@ func RunBoot(opt Options) (*Result, error) {
 	r.addf("")
 	r.addf("Boot protocol scaling (control-system model, %d nodes/midplane):", 32)
 	r.addf("%6s | %14s | %14s | %9s", "nodes", "CNK broadcast", "FWK staggered", "FWK/CNK")
+	// One replica per (node count, kernel) sweep point; render after the
+	// barrier, in sweep order.
+	type bootPt struct{ cnk, fwk sim.Cycles }
+	pts := replica.Map(opt.workers(), len(counts), func(i int) bootPt {
+		cb := ctrlsys.SimulateBoot(ctrlsys.BootConfig{Kind: machine.KindCNK, Nodes: counts[i], NodesPerMidplane: 32})
+		fb := ctrlsys.SimulateBoot(ctrlsys.BootConfig{Kind: machine.KindFWK, Nodes: counts[i], NodesPerMidplane: 32})
+		return bootPt{cb.Total, fb.Total}
+	})
 	var cnkTimes, fwkTimes []float64
-	for _, n := range counts {
-		cb := ctrlsys.SimulateBoot(ctrlsys.BootConfig{Kind: machine.KindCNK, Nodes: n, NodesPerMidplane: 32})
-		fb := ctrlsys.SimulateBoot(ctrlsys.BootConfig{Kind: machine.KindFWK, Nodes: n, NodesPerMidplane: 32})
-		cnkTimes = append(cnkTimes, cb.Total.Seconds()*1e3)
-		fwkTimes = append(fwkTimes, fb.Total.Seconds()*1e3)
+	for i, n := range counts {
+		cnkTimes = append(cnkTimes, pts[i].cnk.Seconds()*1e3)
+		fwkTimes = append(fwkTimes, pts[i].fwk.Seconds()*1e3)
 		r.addf("%6d | %11.3f ms | %11.1f ms | %8.0fx", n,
-			cb.Total.Seconds()*1e3, fb.Total.Seconds()*1e3,
-			float64(fb.Total)/float64(cb.Total))
+			pts[i].cnk.Seconds()*1e3, pts[i].fwk.Seconds()*1e3,
+			float64(pts[i].fwk)/float64(pts[i].cnk))
 	}
 	last := len(counts) - 1
 	span := float64(counts[last]) / float64(counts[0])

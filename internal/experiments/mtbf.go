@@ -1,12 +1,11 @@
 package experiments
 
 import (
-	"runtime"
-
 	"bgcnk/internal/ctrlsys"
 	"bgcnk/internal/machine"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/sim/replica"
 )
 
 // mtbfNoCkptInterval is far beyond any job's exchange count, so the
@@ -74,13 +73,7 @@ func RunMTBF(opt Options) (*Result, error) {
 		jobs = mtbfJobs(4)
 	}
 	rates := []float64{0, 4e-3, 1e-2}
-	workers := runtime.NumCPU()
-	if workers > 8 {
-		workers = 8
-	}
-	if workers < 2 {
-		workers = 2
-	}
+	workers := opt.workers()
 
 	r := &Result{ID: "mtbf", Title: "Checkpoint/restart under a fault-rate sweep (completion, waste, time-to-solution)", Pass: true}
 	// The worker count is deliberately absent from the render: results are
@@ -103,24 +96,39 @@ func RunMTBF(opt Options) (*Result, error) {
 		{machine.KindCNK, "CNK"},
 		{machine.KindFWK, "FWK"},
 	}
+	// Every sweep cell is an independent replica (its own service node,
+	// machines and fault streams), so all 12 fan across the worker pool
+	// at once; rendering happens after the barrier, strictly in sweep
+	// order, so the golden-pinned output is identical at any pool size.
+	arms := []int{1, mtbfNoCkptInterval}
+	flat, err := replica.Run(workers, len(kinds)*len(rates)*len(arms), func(idx int) (cell, error) {
+		ki := idx / (len(rates) * len(arms))
+		ri := idx / len(arms) % len(rates)
+		arm := idx % len(arms)
+		res, err := mtbfDrain(topo, kinds[ki].kind, jobs, rates[ri], arms[arm], workers)
+		if err != nil {
+			return cell{}, err
+		}
+		c := cell{
+			completed: len(jobs) - res.Failures,
+			restarts:  res.Restarts,
+			wasted:    res.Wasted,
+			makespan:  res.Sched.Makespan,
+		}
+		for _, jr := range res.Results {
+			c.runTotal += jr.Run
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	cells := make([][][2]cell, len(kinds))
 	for ki, k := range kinds {
 		cells[ki] = make([][2]cell, len(rates))
 		for ri, rate := range rates {
-			for arm, interval := range []int{1, mtbfNoCkptInterval} {
-				res, err := mtbfDrain(topo, k.kind, jobs, rate, interval, workers)
-				if err != nil {
-					return nil, err
-				}
-				c := cell{
-					completed: len(jobs) - res.Failures,
-					restarts:  res.Restarts,
-					wasted:    res.Wasted,
-					makespan:  res.Sched.Makespan,
-				}
-				for _, jr := range res.Results {
-					c.runTotal += jr.Run
-				}
+			for arm := range arms {
+				c := flat[(ki*len(rates)+ri)*len(arms)+arm]
 				cells[ki][ri][arm] = c
 				armName := "on "
 				if arm == 1 {
@@ -173,20 +181,28 @@ func RunMTBF(opt Options) (*Result, error) {
 	}
 
 	// Determinism spot check on the hardest cell (highest rate, ckpt on):
-	// the parallel drain must be bit-identical to the serial one.
-	for _, k := range kinds {
-		par, err := mtbfDrain(topo, k.kind, jobs, rates[len(rates)-1], 1, workers)
+	// the parallel drain must be bit-identical to the serial one. The
+	// two kernels' checks are themselves independent replicas.
+	type sigPair struct{ par, serial uint64 }
+	sigs, err := replica.Run(workers, len(kinds), func(ki int) (sigPair, error) {
+		par, err := mtbfDrain(topo, kinds[ki].kind, jobs, rates[len(rates)-1], 1, workers)
 		if err != nil {
-			return nil, err
+			return sigPair{}, err
 		}
-		serial, err := mtbfDrain(topo, k.kind, jobs, rates[len(rates)-1], 1, 1)
+		serial, err := mtbfDrain(topo, kinds[ki].kind, jobs, rates[len(rates)-1], 1, 1)
 		if err != nil {
-			return nil, err
+			return sigPair{}, err
 		}
-		if par.Signature() != serial.Signature() {
+		return sigPair{par.Signature(), serial.Signature()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range kinds {
+		if sigs[ki].par != sigs[ki].serial {
 			r.Pass = false
 			r.notef("%s: parallel drain signature %016x != serial %016x — determinism broken",
-				k.name, par.Signature(), serial.Signature())
+				k.name, sigs[ki].par, sigs[ki].serial)
 		}
 	}
 	return r, nil

@@ -6,6 +6,7 @@ import (
 	"bgcnk/internal/machine"
 	"bgcnk/internal/noise"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/sim/replica"
 )
 
 // linpackOnce runs the HPL-proxy job on a 4-node machine of the given
@@ -41,19 +42,20 @@ func RunLinpack(opt Options) (*Result, error) {
 		runs = 6
 		cfg.Panels = 12
 	}
-	var cnkTimes, fwkTimes []sim.Cycles
-	for i := 0; i < runs; i++ {
-		t, err := linpackOnce(machine.KindCNK, uint64(i+1), cfg)
-		if err != nil {
-			return nil, err
+	// Each repeated run is its own machine seeded by run index — an
+	// independent replica — so both kernels' run series fan across the
+	// worker pool; flat index kind*runs+i keeps the merge in run order.
+	times, err := replica.Run(opt.workers(), 2*runs, func(idx int) (sim.Cycles, error) {
+		kind := machine.KindCNK
+		if idx >= runs {
+			kind = machine.KindFWK
 		}
-		cnkTimes = append(cnkTimes, t)
-		t, err = linpackOnce(machine.KindFWK, uint64(i+1), cfg)
-		if err != nil {
-			return nil, err
-		}
-		fwkTimes = append(fwkTimes, t)
+		return linpackOnce(kind, uint64(idx%runs+1), cfg)
+	})
+	if err != nil {
+		return nil, err
 	}
+	cnkTimes, fwkTimes := times[:runs], times[runs:]
 	cs, fsx := noise.Analyze(cnkTimes), noise.Analyze(fwkTimes)
 	r := &Result{ID: "linpack", Title: "LINPACK stability over repeated runs (paper V-D)", Pass: true}
 	r.addf("%d runs of the fixed-work solve on 4 nodes", runs)

@@ -1,10 +1,9 @@
 package experiments
 
 import (
-	"runtime"
-
 	"bgcnk/internal/ctrlsys"
 	"bgcnk/internal/machine"
+	"bgcnk/internal/sim/replica"
 )
 
 // RunThroughput drains a seeded stream of job submissions through the
@@ -20,17 +19,12 @@ func RunThroughput(opt Options) (*Result, error) {
 	if opt.Quick {
 		cnkJobs, fwkJobs = 36, 10
 	}
-	workers := runtime.NumCPU()
-	if workers > 8 {
-		workers = 8
-	}
-	if workers < 2 {
-		workers = 2
-	}
+	workers := opt.workers()
 
 	r := &Result{ID: "throughput", Title: "Job throughput through the control system (FIFO + EASY backfill)", Pass: true}
-	r.addf("topology: %d midplanes x %d nodes, %d drain workers",
-		topo.Midplanes(), topo.NodesPerMidplane, workers)
+	// The worker count is deliberately absent from the render: results
+	// are bit-identical at any worker count, and the render must be too.
+	r.addf("topology: %d midplanes x %d nodes", topo.Midplanes(), topo.NodesPerMidplane)
 
 	type row struct {
 		kind   machine.KernelKind
@@ -42,22 +36,21 @@ func RunThroughput(opt Options) (*Result, error) {
 		{kind: machine.KindCNK, name: "CNK", jobs: cnkJobs},
 		{kind: machine.KindFWK, name: "FWK", jobs: fwkJobs},
 	}
+	// The four drains (serial and parallel, per kernel) are independent
+	// replicas; flat index = row*2 + arm, arm 0 serial / arm 1 parallel.
+	drains, err := replica.Run(workers, len(rows)*2, func(idx int) (*ctrlsys.DrainResult, error) {
+		cfg := ctrlsys.Config{Topology: topo, Kind: rows[idx/2].kind, Seed: 1009, Workers: 1}
+		if idx%2 == 1 {
+			cfg.Workers = workers
+		}
+		jobs := ctrlsys.GenerateJobs(cfg.Seed, rows[idx/2].jobs, topo.Midplanes())
+		return ctrlsys.New(cfg).Drain(jobs)
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i := range rows {
-		cfg := ctrlsys.Config{Topology: topo, Kind: rows[i].kind, Seed: 1009}
-		jobs := ctrlsys.GenerateJobs(cfg.Seed, rows[i].jobs, topo.Midplanes())
-
-		serialCfg := cfg
-		serialCfg.Workers = 1
-		serial, err := ctrlsys.New(serialCfg).Drain(jobs)
-		if err != nil {
-			return nil, err
-		}
-		parCfg := cfg
-		parCfg.Workers = workers
-		par, err := ctrlsys.New(parCfg).Drain(jobs)
-		if err != nil {
-			return nil, err
-		}
+		serial, par := drains[i*2], drains[i*2+1]
 		if par.Signature() != serial.Signature() {
 			r.Pass = false
 			r.notef("%s: parallel drain signature %016x != serial %016x — determinism broken",
@@ -66,7 +59,7 @@ func RunThroughput(opt Options) (*Result, error) {
 		rows[i].result = par
 
 		r.addf("%s: %3d jobs drained, makespan %8.3f s, %6.2f jobs/s, %d backfilled, utilization %4.1f%%, %d failures",
-			rows[i].name, len(jobs), par.Sched.Makespan.Seconds(), par.JobsPerSecond(),
+			rows[i].name, len(par.Results), par.Sched.Makespan.Seconds(), par.JobsPerSecond(),
 			par.Sched.Backfilled, par.Sched.Utilization*100, par.Failures)
 		if par.Failures > 0 {
 			r.Pass = false

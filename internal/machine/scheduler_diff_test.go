@@ -1,0 +1,137 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"bgcnk/internal/apps"
+	"bgcnk/internal/hw"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/ras"
+	"bgcnk/internal/sim"
+)
+
+// The machine-level differential harness: a full fault-replay run —
+// boot, a memory sweep that draws seeded DDR/TLB/link/CIOD faults, the
+// LINPACK proxy, shutdown — executed once on the reference heap
+// scheduler and once on the timer wheel must agree on every externally
+// visible bit: trace hash, final cycle, exit codes, merged UPC
+// counters, and the RAS log (both its fold hash and its rendered
+// table). This is the substitution proof for the sim fast path at the
+// scale the experiments actually use, not just on synthetic workloads.
+
+type diffOutcome struct {
+	now      sim.Cycles
+	hash     uint64
+	traces   uint64
+	codes    string
+	counters string
+	rasHash  uint64
+	rasTable string
+	runErr   string
+}
+
+// diffFaultReplay runs the faulty-LINPACK workload (modeled on the
+// stability-under-fault experiment) on the given scheduler.
+func diffFaultReplay(t *testing.T, kind KernelKind, sched sim.SchedulerKind, seed uint64) diffOutcome {
+	t.Helper()
+	plan := &ras.Plan{
+		Seed:             seed,
+		DDRCorrectable:   2e-4,
+		DDRUncorrectable: 4e-5,
+		TLBParity:        2e-6,
+		LinkCRC:          2e-2,
+		CIODDrop:         0.1,
+	}
+	m, err := New(Config{
+		Nodes: 4, Kind: kind, Seed: seed,
+		Reproducible: kind == KindCNK,
+		Faults:       plan,
+		Sched:        sched,
+	})
+	if err != nil {
+		t.Fatalf("%v machine: %v", sched, err)
+	}
+	defer m.Shutdown()
+	runErr := m.Run(func(ctx kernel.Context, env *Env) {
+		base := m.HeapBase(ctx)
+		buf := make([]byte, 128)
+		for i := 0; i < 1500; i++ {
+			ctx.Load(base+hw.VAddr((i*4096)%(4<<20)), buf)
+		}
+		apps.Linpack(ctx, env.MPI, base, apps.LinpackConfig{Panels: 12, PanelCycles: 400_000, ExchangeB: 8 << 10})
+	}, kernel.JobParams{}, sim.FromSeconds(600))
+	out := diffOutcome{
+		now:      m.Eng.Now(),
+		hash:     m.Eng.Trace().Hash(),
+		traces:   m.Eng.Trace().Count(),
+		codes:    fmt.Sprint(m.ExitCodes()),
+		counters: m.MergedCounters().Text(),
+		rasHash:  m.RAS.Hash(),
+		rasTable: m.RAS.Table(),
+	}
+	if runErr != nil {
+		out.runErr = runErr.Error()
+	}
+	return out
+}
+
+// TestDifferentialMachineFaultReplay is the CI gate for scheduler
+// substitution on real machine runs: both kernels, multiple fault
+// seeds, heap vs wheel, bit-identical everywhere.
+func TestDifferentialMachineFaultReplay(t *testing.T) {
+	for _, kind := range []KernelKind{KindCNK, KindFWK} {
+		for _, seed := range []uint64{7, 40, 1009} {
+			kind, seed := kind, seed
+			t.Run(fmt.Sprintf("%v/seed%d", kind, seed), func(t *testing.T) {
+				t.Parallel()
+				ref := diffFaultReplay(t, kind, sim.SchedHeap, seed)
+				got := diffFaultReplay(t, kind, sim.SchedWheel, seed)
+				if got.hash != ref.hash || got.now != ref.now || got.traces != ref.traces {
+					t.Fatalf("trace diverged: heap (hash %016x, now %d, n %d) vs wheel (hash %016x, now %d, n %d)",
+						ref.hash, ref.now, ref.traces, got.hash, got.now, got.traces)
+				}
+				if got.codes != ref.codes {
+					t.Fatalf("exit codes diverged: heap %s vs wheel %s", ref.codes, got.codes)
+				}
+				if got.runErr != ref.runErr {
+					t.Fatalf("run error diverged: heap %q vs wheel %q", ref.runErr, got.runErr)
+				}
+				if got.counters != ref.counters {
+					t.Fatalf("UPC counters diverged:\nheap:\n%s\nwheel:\n%s", ref.counters, got.counters)
+				}
+				if got.rasHash != ref.rasHash || got.rasTable != ref.rasTable {
+					t.Fatalf("RAS log diverged (heap hash %016x vs wheel %016x):\nheap:\n%s\nwheel:\n%s",
+						ref.rasHash, got.rasHash, ref.rasTable, got.rasTable)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialMachineCleanRun covers the no-fault path: a plain
+// reproducible CNK barrier/allreduce workload on both schedulers.
+func TestDifferentialMachineCleanRun(t *testing.T) {
+	run := func(sched sim.SchedulerKind) (uint64, sim.Cycles, string) {
+		m, err := New(Config{Nodes: 4, Kind: KindCNK, Reproducible: true, Sched: sched})
+		if err != nil {
+			t.Fatalf("%v machine: %v", sched, err)
+		}
+		defer m.Shutdown()
+		if err := m.Run(func(ctx kernel.Context, env *Env) {
+			base := m.HeapBase(ctx)
+			apps.Linpack(ctx, env.MPI, base, apps.LinpackConfig{Panels: 8, PanelCycles: 200_000, ExchangeB: 4 << 10})
+		}, kernel.JobParams{}, sim.FromSeconds(600)); err != nil {
+			t.Fatalf("%v run: %v", sched, err)
+		}
+		return m.Eng.Trace().Hash(), m.Eng.Now(), m.MergedCounters().Text()
+	}
+	h1, n1, c1 := run(sim.SchedHeap)
+	h2, n2, c2 := run(sim.SchedWheel)
+	if h1 != h2 || n1 != n2 {
+		t.Fatalf("clean run diverged: heap (hash %016x, now %d) vs wheel (hash %016x, now %d)", h1, n1, h2, n2)
+	}
+	if c1 != c2 {
+		t.Fatalf("clean-run counters diverged:\nheap:\n%s\nwheel:\n%s", c1, c2)
+	}
+}

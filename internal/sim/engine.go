@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -12,24 +11,14 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// EngineConfig selects engine implementation details that must never
+// change observable behaviour: every configuration runs the same events
+// at the same cycles in the same order (the differential harness in
+// differential_test.go holds the implementations to that).
+type EngineConfig struct {
+	// Scheduler picks the pending-event queue: SchedWheel (default, the
+	// timer-wheel fast path) or SchedHeap (the reference binary heap).
+	Scheduler SchedulerKind
 }
 
 // Engine is a deterministic discrete-event simulator. All state mutation in
@@ -38,20 +27,36 @@ func (h *eventHeap) Pop() any {
 // these runs at a time and that their order depends only on (time, schedule
 // order), never on the Go runtime scheduler.
 type Engine struct {
-	now    Cycles
-	seq    uint64
-	events eventHeap
-	coros  []*Coro // all coroutines ever started, for shutdown
-	trace  *Trace
+	now   Cycles
+	seq   uint64
+	sched scheduler
+	coros []*Coro // all coroutines ever started, for shutdown
+	trace *Trace
 
-	// inCoroutine guards against event-queue mutation racing a running
-	// coroutine: engine methods may only be called from simulation context.
+	// free recycles event structs: the simulation's hot path schedules
+	// millions of events, and pooling them leaves the per-schedule cost
+	// at the callback closure alone.
+	free []*event
+
+	// stepping guards against event-queue mutation racing a running
+	// coroutine: engine methods may only be called from simulation context,
+	// and Shutdown only from outside it.
 	stepping bool
 }
 
-// NewEngine returns an engine at cycle 0 with an empty event queue.
-func NewEngine() *Engine {
-	return &Engine{trace: NewTrace()}
+// NewEngine returns an engine at cycle 0 with an empty event queue, using
+// the default (timer wheel) scheduler.
+func NewEngine() *Engine { return NewEngineWith(EngineConfig{}) }
+
+// NewEngineWith returns an engine configured by cfg.
+func NewEngineWith(cfg EngineConfig) *Engine {
+	e := &Engine{trace: NewTrace()}
+	if cfg.Scheduler == SchedHeap {
+		e.sched = &heapSched{}
+	} else {
+		e.sched = newWheelSched()
+	}
+	return e
 }
 
 // Now returns the current simulation time.
@@ -67,7 +72,16 @@ func (e *Engine) At(t Cycles, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(event)
+	}
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	e.sched.push(ev)
 }
 
 // After schedules fn to run d cycles from now.
@@ -76,16 +90,19 @@ func (e *Engine) After(d Cycles, fn func()) { e.At(e.now+d, fn) }
 // Step runs the next pending event. It reports false when the queue is
 // empty.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	ev := e.sched.pop()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
 	if ev.at < e.now {
 		panic("sim: time went backwards")
 	}
 	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.free = append(e.free, ev)
 	e.stepping = true
-	ev.fn()
+	fn()
 	e.stepping = false
 	return true
 }
@@ -94,7 +111,11 @@ func (e *Engine) Step() bool {
 // beyond the limit. It returns the number of events executed.
 func (e *Engine) Run(limit Cycles) int {
 	n := 0
-	for len(e.events) > 0 && e.events[0].at <= limit {
+	for {
+		t, ok := e.sched.peek()
+		if !ok || t > limit {
+			break
+		}
 		e.Step()
 		n++
 	}
@@ -113,15 +134,25 @@ func (e *Engine) RunUntilIdle() int {
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.sched.len() }
 
 // Shutdown kills every live coroutine so their goroutines exit. The engine
-// must not be used afterwards. It is safe to call on an idle engine only
-// (never from inside an event or coroutine).
+// must not be used afterwards.
+//
+// Contract: Shutdown is only legal on an idle engine, from host code —
+// never from inside an event callback or coroutine. A coroutine cannot
+// unwind itself synchronously, and tearing the queue down mid-step would
+// corrupt the dispatch in flight; instead of silently corrupting state,
+// calling Shutdown from simulation context panics. Let the run finish (or
+// stop driving the engine) and shut down from the outside.
 func (e *Engine) Shutdown() {
+	if e.stepping {
+		panic("sim: Engine.Shutdown called from inside an event or coroutine; Shutdown is only legal on an idle engine from host code")
+	}
 	for _, c := range e.coros {
 		c.kill()
 	}
 	e.coros = nil
-	e.events = nil
+	e.sched.reset()
+	e.free = nil
 }

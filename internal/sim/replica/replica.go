@@ -1,0 +1,84 @@
+// Package replica fans independent simulation replicas across a bounded
+// worker pool, deterministically.
+//
+// A replica is any self-contained simulation: one Engine, its machine,
+// its seeds. Because a replica shares no state with its siblings, the
+// host's execution order cannot affect any replica's result, and merging
+// results strictly in input order makes the whole fan-out bit-identical
+// at every worker count — the experiment sweeps, fault batteries, and
+// control-system drains get near-linear wall-clock speedup with none of
+// the replay guarantees given up. The worker-count invariance is gated in
+// CI (see TestReplicaWorkerInvariance and the experiments render tests).
+package replica
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the pool size used when callers pass workers <= 0:
+// one per host CPU, clamped to [2, 8] — enough to saturate the medium
+// sweeps without oversubscribing nested fan-outs.
+func DefaultWorkers() int {
+	w := runtime.NumCPU()
+	if w > 8 {
+		w = 8
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in input order. workers <= 0 means DefaultWorkers;
+// workers == 1 runs inline on the caller's goroutine (the serial
+// reference execution). fn must be self-contained: it must not share
+// mutable state with other replicas.
+func Map[T any](workers, n int, fn func(int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers == 1 || n == 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Run is Map for fallible replicas. Every replica executes (failures do
+// not cancel siblings — they are deterministic, a rerun would fail the
+// same way); the error returned is the lowest-index one, so error
+// reporting is as order-independent as the results.
+func Run[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
+	errs := make([]error, n)
+	out := Map(workers, n, func(i int) T {
+		v, err := fn(i)
+		errs[i] = err
+		return v
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bgcnk/internal/sim"
+)
+
+// simulate runs one self-contained replica: a seeded engine workload
+// whose trace hash is a total witness of its event order.
+func simulate(seed uint64) uint64 {
+	e := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Go(fmt.Sprintf("w%d", i), func(c *sim.Coro) {
+			for j := 0; j < 30; j++ {
+				c.Sleep(1 + rng.Cycles(1000))
+				e.Trace().Record(c.Now(), c.Name(), "tick")
+			}
+		})
+	}
+	e.RunUntilIdle()
+	return e.Trace().Hash()
+}
+
+// TestReplicaWorkerInvariance is the runner's contract: the merged
+// result vector is bit-identical at 1, 2, and 8 workers (run under -race
+// in CI).
+func TestReplicaWorkerInvariance(t *testing.T) {
+	const n = 24
+	ref := Map(1, n, func(i int) uint64 { return simulate(uint64(i + 1)) })
+	for _, workers := range []int{2, 8} {
+		got := Map(workers, n, func(i int) uint64 { return simulate(uint64(i + 1)) })
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: replica %d hash %016x != serial %016x",
+					workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	out := Map(4, 100, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapZeroAndOne(t *testing.T) {
+	if out := Map(4, 0, func(i int) int { return i }); len(out) != 0 {
+		t.Fatalf("n=0 returned %d results", len(out))
+	}
+	if out := Map(0, 1, func(i int) int { return 7 }); out[0] != 7 {
+		t.Fatalf("n=1 = %v", out)
+	}
+}
+
+// TestRunReportsLowestIndexError: error identity must not depend on
+// which replica finishes first.
+func TestRunReportsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("boom-3")
+	for _, workers := range []int{1, 8} {
+		out, err := Run(workers, 10, func(i int) (int, error) {
+			if i == 7 {
+				return 0, errors.New("boom-7")
+			}
+			if i == 3 {
+				return 0, wantErr
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "boom-3" {
+			t.Fatalf("workers=%d: err = %v, want boom-3", workers, err)
+		}
+		if out[4] != 4 {
+			t.Fatalf("workers=%d: successful replicas not retained: %v", workers, out)
+		}
+	}
+}
+
+func TestRunNoError(t *testing.T) {
+	out, err := Run(3, 5, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}

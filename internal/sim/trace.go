@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"hash/fnv"
+	"strconv"
 )
 
 // TraceEntry is one recorded simulation event: an instant, a source tag
@@ -30,11 +30,13 @@ type Trace struct {
 	count   uint64
 	ring    []TraceEntry
 	ringCap int
+	head    int    // oldest entry once the ring is full (circular buffer)
+	scratch []byte // reused decimal buffer; keeps Record allocation-free
 }
 
 // NewTrace returns an enabled trace with a 4096-entry ring.
 func NewTrace() *Trace {
-	return &Trace{enabled: true, ring: nil, ringCap: 4096, hash: 14695981039346656037}
+	return &Trace{enabled: true, ring: nil, ringCap: 4096, hash: fnvOffset64}
 }
 
 // SetEnabled turns recording on or off.
@@ -46,15 +48,38 @@ func (tr *Trace) Enabled() bool { return tr.enabled }
 // KeepAll makes the trace retain every entry instead of a bounded ring.
 func (tr *Trace) KeepAll() { tr.keepAll = true }
 
+// fnv1a64 constants (hash/fnv's offset basis and prime); the hash is
+// computed inline over the exact byte stream "%d|%s|%s" so it stays
+// bit-identical to the fmt/hash.Hash64 formulation while the hot path
+// allocates nothing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv1aString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
 // Record appends an entry at time at.
 func (tr *Trace) Record(at Cycles, tag, detail string) {
 	if !tr.enabled {
 		return
 	}
 	tr.count++
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%s", uint64(at), tag, detail)
-	tr.hash = tr.hash*1099511628211 ^ h.Sum64()
+	tr.scratch = strconv.AppendUint(tr.scratch[:0], uint64(at), 10)
+	h := uint64(fnvOffset64)
+	for _, b := range tr.scratch {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	h = (h ^ '|') * fnvPrime64
+	h = fnv1aString(h, tag)
+	h = (h ^ '|') * fnvPrime64
+	h = fnv1aString(h, detail)
+	tr.hash = tr.hash*fnvPrime64 ^ h
 	e := TraceEntry{At: at, Tag: tag, Detail: detail}
 	if tr.keepAll {
 		tr.ring = append(tr.ring, e)
@@ -63,8 +88,11 @@ func (tr *Trace) Record(at Cycles, tag, detail string) {
 	if len(tr.ring) < tr.ringCap {
 		tr.ring = append(tr.ring, e)
 	} else {
-		copy(tr.ring, tr.ring[1:])
-		tr.ring[len(tr.ring)-1] = e
+		tr.ring[tr.head] = e
+		tr.head++
+		if tr.head == tr.ringCap {
+			tr.head = 0
+		}
 	}
 }
 
@@ -78,4 +106,11 @@ func (tr *Trace) Hash() uint64 { return tr.hash }
 func (tr *Trace) Count() uint64 { return tr.count }
 
 // Entries returns the retained entries, oldest first.
-func (tr *Trace) Entries() []TraceEntry { return tr.ring }
+func (tr *Trace) Entries() []TraceEntry {
+	if tr.head == 0 {
+		return tr.ring
+	}
+	out := make([]TraceEntry, 0, len(tr.ring))
+	out = append(out, tr.ring[tr.head:]...)
+	return append(out, tr.ring[:tr.head]...)
+}

@@ -1,11 +1,12 @@
 #!/bin/sh
-# Benchmark smoke: run the control-system micro-benchmarks and emit
-# BENCH_ctrlsys.json (modelled boot scaling, drained job throughput, and
-# the serial-vs-parallel wall-clock comparison with its bit-identity
-# check) plus BENCH_resilience.json (per-kernel checkpoint latency,
-# restart overhead, and the completion-rate sweep over fault rates with
-# checkpointing on/off). Called from scripts/ci.sh as a non-gating smoke;
-# run it by hand with full sizes:
+# Benchmark smoke: run the micro-benchmarks and emit BENCH_sim.json (the
+# event-scheduler hot paths, heap vs timer wheel, plus the trace-record
+# path), BENCH_ctrlsys.json (modelled boot scaling, drained job
+# throughput, and the serial-vs-parallel wall-clock comparison with its
+# bit-identity check) and BENCH_resilience.json (per-kernel checkpoint
+# latency, restart overhead, and the completion-rate sweep over fault
+# rates with checkpointing on/off). Called from scripts/ci.sh as a
+# non-gating smoke; run it by hand with full sizes:
 #
 #   ./scripts/bench.sh          # quick (CI) sizes
 #   BENCH_FULL=1 ./scripts/bench.sh
@@ -13,8 +14,16 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== go test -bench (ctrlsys)"
+echo "== go test -bench (sim + ctrlsys)"
+go test -run '^$' -bench . -benchtime 1x ./internal/sim/
 go test -run '^$' -bench . -benchtime 1x ./internal/ctrlsys/
+
+echo "== simbench -> BENCH_sim.json"
+if [ "${BENCH_FULL:-0}" = "1" ]; then
+	go run ./cmd/simbench -out BENCH_sim.json
+else
+	go run ./cmd/simbench -quick -out BENCH_sim.json
+fi
 
 echo "== ctrlbench -> BENCH_ctrlsys.json"
 if [ "${BENCH_FULL:-0}" = "1" ]; then

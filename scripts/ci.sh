@@ -45,6 +45,17 @@ echo "== resilience: restart determinism + mtbf golden"
 go test -race -run 'TestRestartDeterminism|TestResilienceFaultClassMatrix' ./internal/ctrlsys/
 go test -run 'TestGolden/mtbf' ./internal/experiments/
 
+# Sim fast-path contracts, gated explicitly: the timer-wheel scheduler
+# must replay seeded event workloads AND full machine fault-replay runs
+# bit-identically to the reference heap (trace hashes, exit codes, UPC
+# counters, RAS logs), and the replica runner must merge bit-identical
+# results at 1, 2, and 8 workers — from the raw pool up through the
+# rendered experiment artifacts. All under -race.
+echo "== sim fast path: heap-vs-wheel differential + replica worker invariance"
+go test -race -run 'TestDifferential' ./internal/sim/ ./internal/machine/
+go test -race -run 'TestReplicaWorkerInvariance' ./internal/sim/replica/
+go test -race -run 'TestRenderWorkerInvariance' ./internal/experiments/
+
 echo "== benchmark smoke (non-gating)"
 ./scripts/bench.sh || echo "WARN: bench smoke failed (non-gating)"
 
