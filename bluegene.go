@@ -22,6 +22,7 @@ import (
 	"bgcnk/internal/ckpt"
 	"bgcnk/internal/ctrlsys"
 	"bgcnk/internal/experiments"
+	"bgcnk/internal/fs"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/machine"
 	"bgcnk/internal/ras"
@@ -267,3 +268,58 @@ func UnmarshalCheckpoint(b []byte) (*CheckpointImage, error) { return ckpt.Unmar
 // A job that completes after checkpoint/restart signature-matches its
 // fault-free run.
 func WorkSignature(s CounterSnapshot) uint64 { return ckpt.WorkSignature(s) }
+
+// Crash-only service node: with ControlConfig.Journal enabled, every
+// scheduler state transition is made durable in a write-ahead journal on
+// the control store before it is applied, and a service node killed at
+// any point — even mid-recovery — is rebuilt by replaying the journal
+// and reconciling against the live machine (orphaned partitions killed,
+// interrupted jobs resumed from their last durable checkpoint). Crashes
+// themselves are injected deterministically (ControlConfig.Crashes),
+// keyed to journal sequence numbers, so every crash-and-recover drain is
+// replayable and must finish bit-identical to a crash-free drain.
+
+// JournalConfig arms the write-ahead journal (ControlConfig.Journal).
+type JournalConfig = ctrlsys.JournalConfig
+
+// CrashPlan arms deterministic service-node crash injection
+// (ControlConfig.Crashes).
+type CrashPlan = ras.CrashPlan
+
+// CrashClass is one injected service-node death mode.
+type CrashClass = ras.CrashClass
+
+// Crash classes.
+const (
+	CrashPreAppend      = ras.CrashPreAppend      // dies before the record is durable
+	CrashPostAppend     = ras.CrashPostAppend     // record durable, dies before applying
+	CrashMidBoot        = ras.CrashMidBoot        // dies while booting a partition
+	CrashMidCkptCommit  = ras.CrashMidCkptCommit  // tears the checkpoint-commit record
+	CrashDuringRecovery = ras.CrashDuringRecovery // dies inside its own recovery
+)
+
+// CrashStats accounts injected crashes and recoveries
+// (DrainResult.Crash).
+type CrashStats = ctrlsys.CrashStats
+
+// JournalStats accounts the journal a drain wrote (DrainResult.Journal).
+type JournalStats = ctrlsys.JournalStats
+
+// RecoveryReport describes one journal replay + reconciliation pass.
+type RecoveryReport = ctrlsys.RecoveryReport
+
+// ControlStore is the service node's durable store (ServiceNode.Store);
+// it survives the node and is what RecoverServiceNode replays from.
+type ControlStore = fs.FS
+
+// ErrServiceNodeCrash is wrapped into DrainResult.Errs for jobs lost to
+// a service-node crash with journaling off; test with errors.Is.
+var ErrServiceNodeCrash = ctrlsys.ErrServiceNodeCrash
+
+// RecoverServiceNode rebuilds a service node from a dead node's control
+// store by journal replay, reconciling against any still-live partitions
+// (scanned read-only, then destroyed and freed). The recovered node
+// finishes a re-drained queue bit-identically to the original.
+func RecoverServiceNode(cfg ControlConfig, store *ControlStore, live []*ControlPartition) (*ServiceNode, *RecoveryReport, error) {
+	return ctrlsys.Recover(cfg, store, live)
+}

@@ -100,9 +100,63 @@ func TestFacadeResilience(t *testing.T) {
 	}
 }
 
+func TestFacadeCrashRecovery(t *testing.T) {
+	cfg := ControlConfig{
+		Topology: Topology{Racks: 1, MidplanesPerRack: 2, NodesPerMidplane: 2},
+		Kind:     CNK,
+		Seed:     42,
+		Workers:  2,
+		Faults:   &FaultPlan{Seed: 0xd00d, DDRUncorrectable: 4e-3, DDRCorrectable: 0.05},
+		Ckpt:     CkptConfig{Enabled: true, Interval: 1},
+		Journal:  JournalConfig{Enabled: true},
+		Crashes:  &CrashPlan{Seed: 0xbad0, Rate: 0.25, MaxCrashes: 2},
+	}
+	jobs := []ControlJob{
+		{ID: 0, Name: "crash0", Midplanes: 1, Work: 20_000, Exchanges: 6, IOBytes: 256},
+		{ID: 1, Name: "crash1", Midplanes: 2, Work: 30_000, Exchanges: 5, IOBytes: 0},
+	}
+	crashed, err := NewServiceNode(cfg).Drain(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := cfg
+	clean.Journal, clean.Crashes = JournalConfig{}, nil
+	base, err := NewServiceNode(clean).Drain(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed.Signature() != base.Signature() {
+		t.Fatalf("crashed drain signature %016x, crash-free %016x", crashed.Signature(), base.Signature())
+	}
+	if crashed.Crash.Crashes == 0 || crashed.Crash.Recoveries == 0 {
+		t.Fatalf("no crash/recovery exercised: %+v — retune the plan", crashed.Crash)
+	}
+
+	// A successor node recovers the dead node's store and re-drains
+	// purely from journal replay.
+	s := NewServiceNode(cfg)
+	if _, err := s.Drain(jobs); err != nil {
+		t.Fatal(err)
+	}
+	s2, rep, err := RecoverServiceNode(cfg, s.Store(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != len(jobs) {
+		t.Fatalf("recovery report %+v, want %d completed", rep, len(jobs))
+	}
+	redrain, err := s2.Drain(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redrain.Signature() != base.Signature() {
+		t.Fatalf("recovered re-drain signature %016x, crash-free %016x", redrain.Signature(), base.Signature())
+	}
+}
+
 func TestExperimentRegistryAccessible(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 13 {
+	if len(ids) != 14 {
 		t.Fatalf("experiments: %v", ids)
 	}
 	if _, err := Experiment("no-such", true); err == nil {

@@ -63,11 +63,25 @@ type sweepRow struct {
 	Signature      string  `json:"signature"`
 }
 
+type recoveryRow struct {
+	Kernel            string  `json:"kernel"`
+	Jobs              int     `json:"jobs"`
+	JournalRecords    int     `json:"journal_records"`
+	JournalBytes      int     `json:"journal_bytes"`
+	JournalSegments   int     `json:"journal_segments"`
+	Crashes           int     `json:"crashes"`
+	Recoveries        int     `json:"recoveries"`
+	RecordsReplayed   int     `json:"records_replayed"`
+	RecoveryLatencyUs float64 `json:"recovery_latency_us"`
+	Identical         bool    `json:"identical_to_crash_free"`
+}
+
 type benchReport struct {
 	CPUs     int           `json:"host_cpus"`
 	Workers  int           `json:"workers"`
 	CkptCost []ckptCostRow `json:"checkpoint_cost"`
 	Sweep    []sweepRow    `json:"completion_sweep"`
+	Recovery []recoveryRow `json:"recovery_latency"`
 }
 
 func main() {
@@ -177,6 +191,58 @@ func main() {
 		}
 	}
 
+	// Recovery latency vs journal size: drain growing queues under
+	// injected service-node crashes (journal on) and report how long the
+	// WAL replay + reconciliation takes as the journal grows. Each row's
+	// crashed drain must land bit-identical to the crash-free drain of the
+	// same queue — the crash-only exactness claim, gated like the
+	// serial/parallel one above.
+	jobCounts := []int{2, 4, 6}
+	if *quick {
+		jobCounts = []int{2, 4}
+	}
+	crashDrain := func(kind bluegene.KernelKind, n, w int, crashes bool) *bluegene.DrainResult {
+		cfg := bluegene.ControlConfig{
+			Topology: topo, Kind: kind, Seed: *seed, Workers: w,
+			Faults: &bluegene.FaultPlan{Seed: 0x6b1f, DDRUncorrectable: 4e-3},
+			Ckpt:   bluegene.CkptConfig{Enabled: true, Interval: 1},
+		}
+		if kind == bluegene.FWK {
+			cfg.Faults.FWKPanicEvery = 1
+		}
+		if crashes {
+			cfg.Journal = bluegene.JournalConfig{Enabled: true}
+			cfg.Crashes = &bluegene.CrashPlan{Seed: 0xdeadbeef, Rate: 0.1}
+		}
+		res, err := bluegene.NewServiceNode(cfg).Drain(resilienceJobs(n))
+		fail(err)
+		return res
+	}
+	rep.Recovery = replica.Map(workers, len(kinds)*len(jobCounts), func(idx int) recoveryRow {
+		k := kinds[idx/len(jobCounts)]
+		n := jobCounts[idx%len(jobCounts)]
+		crashed := crashDrain(k.kind, n, workers, true)
+		clean := crashDrain(k.kind, n, workers, false)
+		return recoveryRow{
+			Kernel: k.name, Jobs: n,
+			JournalRecords:    crashed.Journal.Records,
+			JournalBytes:      crashed.Journal.Bytes,
+			JournalSegments:   crashed.Journal.Segments,
+			Crashes:           crashed.Crash.Crashes,
+			Recoveries:        crashed.Crash.Recoveries,
+			RecordsReplayed:   crashed.Crash.RecordsReplayed,
+			RecoveryLatencyUs: crashed.Crash.RecoveryLatency.Seconds() * 1e6,
+			Identical:         crashed.Signature() == clean.Signature(),
+		}
+	})
+	for _, rr := range rep.Recovery {
+		if !rr.Identical {
+			fmt.Fprintf(os.Stderr, "FATAL: %s jobs=%d crashed drain diverged from crash-free\n",
+				rr.Kernel, rr.Jobs)
+			os.Exit(1)
+		}
+	}
+
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	fail(err)
 	blob = append(blob, '\n')
@@ -189,6 +255,11 @@ func main() {
 	for _, s := range rep.Sweep {
 		fmt.Printf("  %s rate=%5.0e ckpt=%-5v: %d/%d completed, %2d restarts, wasted %8.3f ms, makespan %8.3f ms\n",
 			s.Kernel, s.FaultRate, s.Ckpt, s.Completed, s.Jobs, s.Restarts, s.WastedMs, s.MakespanMs)
+	}
+	for _, rr := range rep.Recovery {
+		fmt.Printf("  %s jobs=%d: journal %5d B / %3d records, %d crashes, %d recoveries, replay latency %8.1f us, exact=%v\n",
+			rr.Kernel, rr.Jobs, rr.JournalBytes, rr.JournalRecords, rr.Crashes, rr.Recoveries,
+			rr.RecoveryLatencyUs, rr.Identical)
 	}
 }
 

@@ -87,6 +87,18 @@ type Config struct {
 	// Ckpt arms checkpoint/restart: jobs snapshot at exchange-round
 	// boundaries and fault-killed jobs restart from their last image.
 	Ckpt CkptConfig
+	// Journal arms the write-ahead journal: every scheduler state
+	// transition is made durable on the control store before it is
+	// applied, and a crashed service node recovers by replay (crash-only
+	// operation). Off, the service node is the single point of failure
+	// it always was.
+	Journal JournalConfig
+	// Crashes, when non-nil and enabled, arms deterministic service-node
+	// crash injection: seeded deaths keyed to journal LSNs. With Journal
+	// on, Drain recovers and completes bit-identically to a crash-free
+	// drain; with Journal off, crash-aborted jobs surface
+	// ErrServiceNodeCrash in DrainResult.Errs.
+	Crashes *ras.CrashPlan
 }
 
 // ServiceNode is the control system's brain: it owns the midplane map and
@@ -98,6 +110,10 @@ type ServiceNode struct {
 	// owner maps each midplane to the partition ID occupying it, or -1.
 	owner   []int
 	nextPID int
+
+	// w is the crash-survivable world (control store, journal, crash
+	// injector, drain state); nil unless Journal or Crashes is armed.
+	w *world
 }
 
 // New builds a service node over the configured topology.
@@ -106,6 +122,9 @@ func New(cfg Config) *ServiceNode {
 	s := &ServiceNode{cfg: cfg, topo: topo, owner: make([]int, topo.Midplanes())}
 	for i := range s.owner {
 		s.owner[i] = -1
+	}
+	if cfg.Journal.Enabled || cfg.Crashes.Enabled() {
+		s.w = newWorld(cfg)
 	}
 	return s
 }
@@ -165,6 +184,13 @@ func (s *ServiceNode) Allocate(midplanes int) (*Partition, error) {
 		Block:     s.blockName(base, midplanes),
 		Kind:      s.cfg.Kind,
 	}
+	// Write-ahead: the allocation is durable before the midplane map
+	// changes, so a crash here loses nothing recovery has to undo.
+	if s.w != nil {
+		if err := s.appendRec(recPartAlloc, tripleBody(p.ID, base, midplanes), ras.SiteAppend); err != nil {
+			return nil, err
+		}
+	}
 	s.nextPID++
 	for i := base; i < base+midplanes; i++ {
 		s.owner[i] = p.ID
@@ -199,6 +225,12 @@ func (s *ServiceNode) blockName(base, span int) string {
 // down its backing machine if one is still up.
 func (s *ServiceNode) Release(p *Partition) {
 	p.Destroy()
+	if s.w != nil && p.Base >= 0 {
+		// A crash on this append leaves the allocation durable; the free
+		// happens anyway in memory, and recovery re-frees it from the
+		// journal — releasing twice is idempotent.
+		_ = s.appendRec(recPartFree, idBody(p.ID), ras.SiteAppend)
+	}
 	for i := p.Base; i < p.Base+p.Midplanes; i++ {
 		if i >= 0 && i < len(s.owner) && s.owner[i] == p.ID {
 			s.owner[i] = -1
@@ -211,6 +243,14 @@ func (s *ServiceNode) Release(p *Partition) {
 // faults; it must be derived from the job, not the placement, for
 // placement-independent results.
 func (s *ServiceNode) BootPartition(p *Partition, jobSeed uint64) error {
+	// Journal real (allocated) partition boots only: drain-simulation
+	// partitions (Base -1) are booted inside parallel workers and get
+	// their virtual boot records from the serial commit pipeline instead.
+	if s.w != nil && p.Base >= 0 {
+		if err := s.appendRec(recPartBoot, bootBody(p.ID, jobSeed), ras.SiteBoot); err != nil {
+			return err
+		}
+	}
 	p.Seed = jobSeed
 	p.Boot = SimulateBoot(BootConfig{
 		Kind:             s.cfg.Kind,

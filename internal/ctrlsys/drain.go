@@ -38,6 +38,19 @@ type DrainResult struct {
 	// deterministic and is excluded from Signature. Serial vs parallel
 	// drains differ here and nowhere else.
 	Wall time.Duration
+
+	// CrashAborted counts jobs lost to a service-node crash with
+	// journaling off (each contributes an ErrServiceNodeCrash entry to
+	// Errs and is NOT counted in Failures: the control system died, the
+	// job didn't). Always zero when the journal is on — recovery replays
+	// the drain to completion instead.
+	CrashAborted int
+	// Crash and Journal account the crash-only machinery. Both are
+	// deterministic for a given config but deliberately excluded from
+	// Signature: a crashed-and-recovered drain must Signature-equal the
+	// crash-free drain, which these fields by construction cannot.
+	Crash   CrashStats
+	Journal JournalStats
 }
 
 // Drain simulates every queued job and replays the FIFO+backfill queue
@@ -59,6 +72,16 @@ func (s *ServiceNode) Drain(jobs []Job) (*DrainResult, error) {
 			return nil, fmt.Errorf("ctrlsys: job %d has ID %d; Drain needs dense job IDs", i, job.ID)
 		}
 	}
+	if s.w != nil {
+		return s.drainJournaled(jobs, workers)
+	}
+	return s.drainDirect(jobs, workers)
+}
+
+// drainDirect is the journal-free fast path: simulate everything, merge
+// once. Its results are bit-identical to drainJournaled's — the journal
+// changes what is durable, never what is computed.
+func (s *ServiceNode) drainDirect(jobs []Job, workers int) (*DrainResult, error) {
 	res := &DrainResult{Results: make([]*JobResult, len(jobs)), Workers: workers}
 	runOne := s.runJob
 	if s.cfg.Ckpt.Enabled {
@@ -69,8 +92,14 @@ func (s *ServiceNode) Drain(jobs []Job) (*DrainResult, error) {
 		return runOne(jobs[i])
 	})
 	res.Wall = time.Since(start)
+	s.mergeResults(res, jobs)
+	return res, nil
+}
 
-	// Deterministic merge, strictly in job-ID order.
+// mergeResults performs the deterministic merge, strictly in job-ID
+// order, and computes the control-time schedule. res.Results must be
+// fully populated (one entry per job, in job-ID order).
+func (s *ServiceNode) mergeResults(res *DrainResult, jobs []Job) {
 	snaps := make([]upc.Snapshot, 0, len(jobs))
 	hash := uint64(14695981039346656037)
 	for _, r := range res.Results {
@@ -79,13 +108,20 @@ func (s *ServiceNode) Drain(jobs []Job) (*DrainResult, error) {
 		hash = hash*1099511628211 ^ r.RASHash
 		res.Restarts += r.Restarts
 		res.Wasted += r.Wasted
-		if r.Failed() {
+		switch {
+		case r.CrashAborted:
+			res.CrashAborted++
+		case r.Failed():
 			res.Failures++
 		}
 		if r.BudgetExhausted {
 			res.Errs = append(res.Errs, fmt.Errorf(
 				"job %d (%s): %w after %d attempts",
 				r.Job.ID, r.Job.Name, ErrRestartBudgetExhausted, len(r.Attempts)))
+		}
+		if r.CrashAborted {
+			res.Errs = append(res.Errs, fmt.Errorf(
+				"job %d (%s): aborted: %w", r.Job.ID, r.Job.Name, ErrServiceNodeCrash))
 		}
 	}
 	res.RASHash = hash
@@ -102,7 +138,6 @@ func (s *ServiceNode) Drain(jobs []Job) (*DrainResult, error) {
 	} else {
 		res.Sched = ScheduleFIFOBackfill(s.topo, jobs, dur)
 	}
-	return res, nil
 }
 
 // JobsPerSecond is the drained throughput in simulated control time.

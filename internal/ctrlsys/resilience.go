@@ -110,13 +110,40 @@ type Attempt struct {
 // is exhausted. Every quantity is a pure function of (config, job), so
 // results stay bit-identical across reruns and worker counts.
 func (s *ServiceNode) runJobResilient(job Job) *JobResult {
+	return s.runJobResilientFrom(job, nil, nil)
+}
+
+// runJobResilientFrom is runJobResilient with the restart loop made
+// resumable: rp, when non-nil, is a journaled resume point (partial
+// accounting, RAS-hash fold, next attempt index, freshest checkpoint
+// blob) and the loop continues exactly where the dead service node left
+// it. Because each attempt is a pure function of (job seed, attempt
+// index, resume image), a continued run is bit-identical to an
+// uninterrupted one by construction. commit, when non-nil, is invoked
+// after every failed attempt with the marshalled resume point — the body
+// the journaled drain later appends as a checkpoint-commit record.
+func (s *ServiceNode) runJobResilientFrom(job Job, rp *resumePoint, commit func([]byte)) *JobResult {
 	cfg := s.cfg.Ckpt.normalized()
 	nodes := job.Midplanes * s.topo.NodesPerMidplane
 	res := &JobResult{Job: job, Nodes: nodes}
 	var resume *ckpt.Image
+	var resumeBlob []byte
 	rasHash := uint64(14695981039346656037)
+	first := 0
+	if rp != nil {
+		r := rp.res
+		res = &r
+		rasHash = rp.rasHash
+		first = rp.next
+		if len(rp.image) > 0 {
+			if img, err := ckpt.Unmarshal(rp.image); err == nil {
+				resume = img
+				resumeBlob = rp.image
+			}
+		}
+	}
 
-	for attempt := 0; attempt <= cfg.MaxRestarts; attempt++ {
+	for attempt := first; attempt <= cfg.MaxRestarts; attempt++ {
 		p := &Partition{
 			ID:        job.ID,
 			Base:      -1,
@@ -189,6 +216,7 @@ func (s *ServiceNode) runJobResilient(job Job) *JobResult {
 			if img, err := ckpt.Unmarshal(blob); err == nil {
 				if resume == nil || img.Epoch >= resume.Epoch {
 					resume = img
+					resumeBlob = blob
 				}
 			}
 		}
@@ -213,6 +241,14 @@ func (s *ServiceNode) runJobResilient(job Job) *JobResult {
 			res.Err = runErr.Error()
 		} else {
 			res.Err = fmt.Sprintf("job exited nonzero: %v", codes)
+		}
+		if commit != nil {
+			// Snapshot the loop state NOW (marshalling copies everything):
+			// the journal must hold exactly this point, not whatever res
+			// mutates into later.
+			commit(marshalResume(&resumePoint{
+				res: *res, rasHash: rasHash, next: attempt + 1, image: resumeBlob,
+			}))
 		}
 		p.Destroy()
 	}

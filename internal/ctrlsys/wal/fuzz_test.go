@@ -1,0 +1,50 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzJournal drives Parse with arbitrary segment bytes in both final and
+// non-final mode. Parse must never panic or over-allocate, and whatever
+// it accepts must satisfy the journal invariants: sequential LSNs from
+// firstLSN, canonical re-encoding equal to the consumed prefix, and — in
+// non-final mode — zero tolerance for trailing garbage.
+func FuzzJournal(f *testing.F) {
+	f.Add([]byte{}, uint64(1), true)
+	f.Add(EncodeRecord(1, 1, []byte("submit job 0")), uint64(1), true)
+	two := append(EncodeRecord(5, 2, []byte("alloc")), EncodeRecord(6, 3, nil)...)
+	f.Add(two, uint64(5), false)
+	f.Add(append(two, EncodeRecord(7, 4, bytes.Repeat([]byte{0xee}, 100))[:9]...), uint64(5), true)
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}, uint64(1), false)
+
+	f.Fuzz(func(t *testing.T, b []byte, firstLSN uint64, final bool) {
+		recs, clean, torn, err := Parse(b, firstLSN, final)
+		if err != nil {
+			return
+		}
+		if clean < 0 || clean > len(b) {
+			t.Fatalf("clean prefix %d outside [0,%d]", clean, len(b))
+		}
+		if !final {
+			if torn != 0 {
+				t.Fatalf("non-final parse reported %d torn records", torn)
+			}
+			if clean != len(b) {
+				t.Fatalf("non-final parse consumed %d of %d bytes without error", clean, len(b))
+			}
+		}
+		// Accepted records must carry sequential LSNs and re-encode
+		// canonically to exactly the consumed prefix.
+		var re []byte
+		for i, r := range recs {
+			if r.LSN != firstLSN+uint64(i) {
+				t.Fatalf("record %d has LSN %d, want %d", i, r.LSN, firstLSN+uint64(i))
+			}
+			re = append(re, EncodeRecord(r.LSN, r.Kind, r.Body)...)
+		}
+		if !bytes.Equal(re, b[:clean]) {
+			t.Fatalf("canonical re-encoding differs from accepted prefix:\n got %x\nwant %x", re, b[:clean])
+		}
+	})
+}

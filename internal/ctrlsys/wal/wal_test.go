@@ -1,0 +1,227 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bgcnk/internal/fs"
+	"bgcnk/internal/kernel"
+)
+
+func newStore(t *testing.T) *fs.FS {
+	t.Helper()
+	return fs.New()
+}
+
+func mustAppend(t *testing.T, j *Journal, kind uint8, body []byte) uint64 {
+	t.Helper()
+	lsn, err := j.Append(kind, body)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return lsn
+}
+
+func readSeg(t *testing.T, fsys *fs.FS, dir string, n int) []byte {
+	t.Helper()
+	b, errno := fsys.ReadFile(fmt.Sprintf("%s/seg-%06d.wal", dir, n), fs.Root)
+	if errno != kernel.OK {
+		t.Fatalf("read segment %d: errno %d", n, errno)
+	}
+	return b
+}
+
+func writeSeg(t *testing.T, fsys *fs.FS, dir string, n int, b []byte) {
+	t.Helper()
+	if errno := fsys.WriteFile(fmt.Sprintf("%s/seg-%06d.wal", dir, n), b, 0644, fs.Root); errno != kernel.OK {
+		t.Fatalf("write segment %d: errno %d", n, errno)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	fsys := newStore(t)
+	j, err := Create(fsys, "/wal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 20; i++ {
+		body := []byte(fmt.Sprintf("record-%02d", i))
+		lsn := mustAppend(t, j, uint8(i%7), body)
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+		want = append(want, Record{LSN: lsn, Kind: uint8(i % 7), Body: body})
+	}
+	j2, recs, err := Open(fsys, "/wal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		w := want[i]
+		if r.LSN != w.LSN || r.Kind != w.Kind || !bytes.Equal(r.Body, w.Body) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, w)
+		}
+	}
+	if j2.NextLSN() != 21 || j2.Torn() != 0 {
+		t.Fatalf("NextLSN=%d Torn=%d, want 21, 0", j2.NextLSN(), j2.Torn())
+	}
+	// Appends continue the LSN stream in a fresh segment.
+	if lsn := mustAppend(t, j2, 9, []byte("after")); lsn != 21 {
+		t.Fatalf("append after reopen: lsn = %d, want 21", lsn)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	fsys := newStore(t)
+	j, err := Create(fsys, "/wal", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		mustAppend(t, j, 1, bytes.Repeat([]byte{0xab}, 20))
+	}
+	if j.Segments() < 3 {
+		t.Fatalf("Segments() = %d, want >= 3 with a 64-byte threshold", j.Segments())
+	}
+	// No .tmp leftovers after clean rotation.
+	names, errno := fsys.Readdir("/", "/wal", fs.Root)
+	if errno != kernel.OK {
+		t.Fatalf("readdir: errno %d", errno)
+	}
+	for _, n := range names {
+		if !isSegment(n) {
+			t.Fatalf("unexpected non-segment file %q after rotation", n)
+		}
+	}
+	_, recs, err := Open(fsys, "/wal", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 12 {
+		t.Fatalf("replayed %d records across segments, want 12", len(recs))
+	}
+}
+
+func TestTornTailToleratedAndRepaired(t *testing.T) {
+	fsys := newStore(t)
+	j, err := Create(fsys, "/wal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, 1, []byte("alpha"))
+	mustAppend(t, j, 2, []byte("beta"))
+	if err := j.AppendTorn(3, []byte("gamma-torn")); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs, err := Open(fsys, "/wal", 0)
+	if err != nil {
+		t.Fatalf("Open with torn tail: %v", err)
+	}
+	if len(recs) != 2 || j2.Torn() != 1 {
+		t.Fatalf("replayed %d records, torn %d; want 2 records, 1 torn", len(recs), j2.Torn())
+	}
+	if j2.NextLSN() != 3 {
+		t.Fatalf("NextLSN = %d after dropped tear, want 3", j2.NextLSN())
+	}
+	// The repair rewrote the segment: a second open sees a clean journal.
+	j3, recs3, err := Open(fsys, "/wal", 0)
+	if err != nil {
+		t.Fatalf("reopen after repair: %v", err)
+	}
+	if len(recs3) != 2 || j3.Torn() != 0 {
+		t.Fatalf("after repair: %d records, torn %d; want 2, 0", len(recs3), j3.Torn())
+	}
+}
+
+func TestRejectsBadChecksum(t *testing.T) {
+	fsys := newStore(t)
+	j, err := Create(fsys, "/wal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, 1, []byte("alpha"))
+	mustAppend(t, j, 2, []byte("beta"))
+	b := readSeg(t, fsys, "/wal", 1)
+	b[len(b)-1] ^= 0xff // corrupt the final record's body
+	writeSeg(t, fsys, "/wal", 1, b)
+	if _, _, err := Open(fsys, "/wal", 0); err == nil {
+		t.Fatal("Open accepted a corrupted record")
+	}
+}
+
+func TestRejectsOutOfOrderLSN(t *testing.T) {
+	fsys := newStore(t)
+	var b []byte
+	b = append(b, EncodeRecord(1, 1, []byte("one"))...)
+	b = append(b, EncodeRecord(3, 1, []byte("three"))...) // skips LSN 2
+	fsys.MustMkdirAll("/wal")
+	writeSeg(t, fsys, "/wal", 1, b)
+	if _, _, err := Open(fsys, "/wal", 0); err == nil {
+		t.Fatal("Open accepted an LSN gap")
+	}
+}
+
+func TestRejectsMidJournalTruncation(t *testing.T) {
+	fsys := newStore(t)
+	j, err := Create(fsys, "/wal", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		mustAppend(t, j, 1, []byte("0123456789abcdef"))
+	}
+	if j.Segments() < 2 {
+		t.Fatalf("need >= 2 segments, got %d", j.Segments())
+	}
+	// Tear the FIRST segment: a non-final segment must reject truncation.
+	b := readSeg(t, fsys, "/wal", 1)
+	writeSeg(t, fsys, "/wal", 1, b[:len(b)-3])
+	if _, _, err := Open(fsys, "/wal", 32); err == nil {
+		t.Fatal("Open accepted a truncated non-final segment")
+	}
+}
+
+func TestRejectsHostileLength(t *testing.T) {
+	b := EncodeRecord(1, 1, []byte("x"))
+	b[0], b[1], b[2], b[3] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, _, err := Parse(b, 1, false); err == nil {
+		t.Fatal("Parse accepted a hostile length prefix")
+	}
+}
+
+func TestIgnoresTmpLeftovers(t *testing.T) {
+	fsys := newStore(t)
+	j, err := Create(fsys, "/wal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, 1, []byte("alpha"))
+	// A crash between temp-write and rename leaves a .tmp behind.
+	if errno := fsys.WriteFile("/wal/seg-000002.wal.tmp", []byte("garbage"), 0644, fs.Root); errno != kernel.OK {
+		t.Fatalf("plant tmp: errno %d", errno)
+	}
+	_, recs, err := Open(fsys, "/wal", 0)
+	if err != nil {
+		t.Fatalf("Open with tmp leftover: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+}
+
+func TestCreateRefusesExistingJournal(t *testing.T) {
+	fsys := newStore(t)
+	j, err := Create(fsys, "/wal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, 1, []byte("alpha"))
+	if _, err := Create(fsys, "/wal", 0); err == nil {
+		t.Fatal("Create accepted a directory with existing segments")
+	}
+}

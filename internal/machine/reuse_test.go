@@ -8,6 +8,7 @@ package machine
 // codes and (boot-relative) RAS event stream as job 1 on a fresh machine.
 
 import (
+	"fmt"
 	"testing"
 
 	"bgcnk/internal/hw"
@@ -145,6 +146,89 @@ func TestRebootedMachineMatchesFresh(t *testing.T) {
 			// The regression: a rebooted machine's second job is
 			// byte-identical to a fresh machine's first.
 			assertFactsEqual(t, "rebooted job 2 vs fresh job 1", second, fresh)
+		})
+	}
+}
+
+// TestRecoveredMachineMatchesFresh extends the reuse contract to the
+// crash-recovery cycle: a machine that captured a checkpoint, sealed it,
+// was cleared, and relaunched restoring from the image — the full
+// recovered-job lifecycle — must, after Reboot, be byte-identical to a
+// fresh machine. Scan() is the witness: it must show the recovery residue
+// (restores, armed schedule) before the reboot and a clean machine after,
+// without perturbing anything (scanning is read-only and idempotent).
+func TestRecoveredMachineMatchesFresh(t *testing.T) {
+	for _, kind := range []KernelKind{KindCNK, KindFWK} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := Config{Nodes: 2, Kind: kind, Seed: 11, Faults: ras.DefaultPlan(5)}
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Shutdown()
+
+			// Phase 1: a job that checkpoints mid-run.
+			a.ArmCheckpoints(7, 2)
+			capture := func(ctx kernel.Context, env *Env) {
+				ctx.Compute(20_000)
+				a.CaptureNode(ctx, 1)
+				ctx.Compute(20_000)
+			}
+			if err := a.Run(capture, kernel.JobParams{}, 0); err != nil {
+				t.Fatal(err)
+			}
+			img := a.SealCheckpoint()
+			if img == nil || len(img.Nodes) != cfg.Nodes {
+				t.Fatalf("sealed image %+v, want %d nodes", img, cfg.Nodes)
+			}
+
+			// Phase 2: the recovery — clear job state, relaunch restoring
+			// every node from the sealed image.
+			a.ClearJobs()
+			restore := func(ctx kernel.Context, env *Env) {
+				if err := a.RestoreNode(ctx, img); err != nil {
+					t.Error(err)
+				}
+				ctx.Compute(20_000)
+			}
+			if err := a.Run(restore, kernel.JobParams{}, 0); err != nil {
+				t.Fatal(err)
+			}
+			if a.Restores() != cfg.Nodes {
+				t.Fatalf("restores = %d, want %d; the recovery cycle is vacuous", a.Restores(), cfg.Nodes)
+			}
+
+			// The scan sees the residue, twice identically (idempotent).
+			scan := a.Scan()
+			if !scan.CheckpointsArmed || scan.CheckpointJobID != 7 || scan.Restores != cfg.Nodes {
+				t.Errorf("post-recovery scan missed the residue: %+v", scan)
+			}
+			if scan.JobsLaunched != cfg.Nodes || !scan.JobsDone {
+				t.Errorf("post-recovery scan job state: %+v", scan)
+			}
+			if again := a.Scan(); fmt.Sprint(again) != fmt.Sprint(scan) {
+				t.Errorf("second scan differs: %+v vs %+v", again, scan)
+			}
+
+			// Phase 3: reboot. All recovery residue must be gone...
+			if err := a.Reboot(); err != nil {
+				t.Fatal(err)
+			}
+			scan = a.Scan()
+			if scan.CheckpointsArmed || scan.Restores != 0 || scan.JobsLaunched != 0 {
+				t.Errorf("rebooted scan still shows recovery residue: %+v", scan)
+			}
+
+			// ... and the next job must be byte-identical to a fresh
+			// machine's first.
+			second := runReuseJob(t, a)
+			b, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Shutdown()
+			fresh := runReuseJob(t, b)
+			assertFactsEqual(t, "recovered-then-rebooted vs fresh", second, fresh)
 		})
 	}
 }

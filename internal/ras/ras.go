@@ -37,9 +37,11 @@ const (
 	CIODDrop                      // CIOD reply lost on the tree
 	CIODCrash                     // CIOD daemon died and restarted
 	// Reactions.
-	CIODGiveUp // client exhausted retries and surfaced EIO
-	JobKill    // kernel terminated the job cleanly
-	Recovery   // kernel absorbed/recovered the fault in place
+	CIODGiveUp      // client exhausted retries and surfaced EIO
+	JobKill         // kernel terminated the job cleanly
+	Recovery        // kernel absorbed/recovered the fault in place
+	ServiceCrash    // service node died at an injected crash point
+	ServiceRecovery // service node replayed its journal and reconciled
 
 	NumClasses
 )
@@ -47,6 +49,7 @@ const (
 var classNames = [NumClasses]string{
 	"correctable_ecc", "uncorrectable_ecc", "tlb_parity", "link_crc",
 	"ciod_drop", "ciod_crash", "ciod_give_up", "job_kill", "recovery",
+	"service_crash", "service_recovery",
 }
 
 func (c Class) String() string {

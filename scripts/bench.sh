@@ -4,8 +4,9 @@
 # path), BENCH_ctrlsys.json (modelled boot scaling, drained job
 # throughput, and the serial-vs-parallel wall-clock comparison with its
 # bit-identity check) and BENCH_resilience.json (per-kernel checkpoint
-# latency, restart overhead, and the completion-rate sweep over fault
-# rates with checkpointing on/off). Called from scripts/ci.sh as a
+# latency, restart overhead, the completion-rate sweep over fault rates
+# with checkpointing on/off, and recovery latency vs journal size for
+# crashed-and-recovered service nodes). Called from scripts/ci.sh as a
 # non-gating smoke; run it by hand with full sizes:
 #
 #   ./scripts/bench.sh          # quick (CI) sizes

@@ -20,7 +20,7 @@ echo "== go test -race"
 go test -race ./...
 
 echo "== fuzz seed-corpus regressions"
-go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/ ./internal/ctrlsys/ ./internal/ckpt/
+go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/ ./internal/ctrlsys/ ./internal/ctrlsys/wal/ ./internal/ckpt/
 
 # The fault matrix is part of the -race suite above, but gate on it
 # explicitly: per-class fault determinism and the recovery-under-fault
@@ -45,6 +45,17 @@ echo "== resilience: restart determinism + mtbf golden"
 go test -race -run 'TestRestartDeterminism|TestResilienceFaultClassMatrix' ./internal/ctrlsys/
 go test -run 'TestGolden/mtbf' ./internal/experiments/
 
+# Crash-only control system: every crash class x seed must recover to a
+# drain bit-identical to the crash-free one at 1/2/8 workers (under
+# -race), double-crash-during-recovery included; a crash with the journal
+# off must surface the typed ErrServiceNodeCrash next to any budget
+# errors; a recovered-then-rebooted machine must match a fresh one; and
+# the crash-rate sweep must match its golden byte-for-byte.
+echo "== crash-only service node: crash matrix + recovery + crashes golden"
+go test -race -run 'TestCrashMatrixDeterminism|TestDoubleCrashDuringRecovery|TestServiceNodeCrashTyped|TestRecoverReplaysCompletedDrain|TestRecoverKillsOrphansAndScansLive|TestJournaledDrainMatchesDirect' ./internal/ctrlsys/
+go test -run 'TestRecoveredMachineMatchesFresh' ./internal/machine/
+go test -run 'TestGolden/crashes' ./internal/experiments/
+
 # Sim fast-path contracts, gated explicitly: the timer-wheel scheduler
 # must replay seeded event workloads AND full machine fault-replay runs
 # bit-identically to the reference heap (trace hashes, exit codes, UPC
@@ -65,6 +76,7 @@ if [ "$FUZZTIME" != "0" ]; then
 	go test -fuzz=FuzzMarshal -fuzztime="$FUZZTIME" ./internal/ciod/
 	go test -fuzz=FuzzPersonality -fuzztime="$FUZZTIME" ./internal/ctrlsys/
 	go test -fuzz=FuzzCheckpointImage -fuzztime="$FUZZTIME" ./internal/ckpt/
+	go test -fuzz=FuzzJournal -fuzztime="$FUZZTIME" ./internal/ctrlsys/wal/
 fi
 
 echo "CI gate passed."
