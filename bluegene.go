@@ -23,6 +23,7 @@ import (
 	"bgcnk/internal/ctrlsys"
 	"bgcnk/internal/experiments"
 	"bgcnk/internal/fs"
+	"bgcnk/internal/ion"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/machine"
 	"bgcnk/internal/ras"
@@ -72,7 +73,22 @@ type MachineConfig struct {
 	// schedule, so fault-injected runs stay bit-reproducible. The
 	// machine's RAS field then holds the event log.
 	Faults *FaultPlan
+	// CNsPerION sets the compute-to-I/O-node ratio (0 = every compute
+	// node shares one ION).
+	CNsPerION int
+	// ION, when non-nil, arms the I/O-node aggregation subsystem: shared
+	// collective uplink, bounded ingress queue with backpressure, request
+	// coalescing and the write-back buffer cache. The zero IONConfig takes
+	// all defaults.
+	ION *IONConfig
 }
+
+// IONConfig sizes one I/O node's aggregation machinery (MachineConfig.ION,
+// ControlConfig.ION); zero fields take package defaults.
+type IONConfig = ion.Config
+
+// IONStat is one I/O node's aggregation summary (Machine.IONStats).
+type IONStat = ion.Stats
 
 // FaultPlan is a seeded fault-injection plan: per-opportunity rates for
 // DDR ECC errors, TLB parity flips, link CRC corruption, and CIOD reply
@@ -101,6 +117,8 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		MaxThreadsPerCore: cfg.MaxThreadsPerCore,
 		MemSize:           cfg.MemBytes,
 		Faults:            cfg.Faults,
+		CNsPerION:         cfg.CNsPerION,
+		ION:               cfg.ION,
 	})
 	if err != nil {
 		return nil, err

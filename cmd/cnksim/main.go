@@ -6,6 +6,7 @@
 //	go run ./cmd/cnksim -kernel fwk -workload fwq -samples 2000 -seed 7
 //	go run ./cmd/cnksim -kernel cnk -nodes 8 -workload allreduce
 //	go run ./cmd/cnksim -kernel cnk -workload linpack -faults 42 -ras
+//	go run ./cmd/cnksim -kernel cnk -nodes 8 -ions 8 -workload allreduce
 //
 // With -jobs the simulator switches to control-system mode: a service
 // node over -partitions midplanes (of -nodes compute nodes each) drains
@@ -37,6 +38,7 @@ func main() {
 	counters := flag.String("counters", "", "print UPC counters after the run: text or json")
 	faults := flag.Uint64("faults", 0, "arm the seeded fault injector with this fault seed (0 = perfect machine)")
 	rasDump := flag.Bool("ras", false, "print the RAS event log after the run")
+	ions := flag.Int("ions", 0, "CN:ION ratio — compute nodes per I/O node; arms the I/O aggregation subsystem (0 = legacy direct path)")
 	partitions := flag.Int("partitions", 4, "control-system mode: midplanes in the machine")
 	jobs := flag.Int("jobs", 0, "control-system mode: drain this many queued jobs (0 = run -workload instead)")
 	workers := flag.Int("workers", 1, "control-system mode: parallel partition workers")
@@ -53,12 +55,16 @@ func main() {
 	}
 
 	if *jobs > 0 {
-		runControl(kind, *partitions, *nodes, *jobs, *workers, *seed, *faults)
+		runControl(kind, *partitions, *nodes, *jobs, *workers, *seed, *faults, *ions)
 		return
 	}
 	mcfg := bluegene.MachineConfig{Nodes: *nodes, Kernel: kind, Seed: *seed}
 	if *faults != 0 {
 		mcfg.Faults = bluegene.DefaultFaultPlan(*faults)
+	}
+	if *ions > 0 {
+		mcfg.CNsPerION = *ions
+		mcfg.ION = &bluegene.IONConfig{}
 	}
 	m, err := bluegene.NewMachine(mcfg)
 	if err != nil {
@@ -127,6 +133,14 @@ func main() {
 		}
 	}
 
+	if *ions > 0 {
+		fmt.Printf("\nI/O aggregation (%d CNs per ION):\n", *ions)
+		for i, s := range m.IONStats() {
+			fmt.Printf("  ION %d: admits %d (max queue %d), coalesced %d, cache %d hit / %d miss, %d writebacks, %d flushes\n",
+				i, s.Admitted, s.MaxDepth, s.Coalesced, s.CacheHits, s.CacheMisses, s.Writebacks, s.Flushes)
+		}
+	}
+
 	if *rasDump {
 		if m.RAS == nil {
 			fmt.Println("\nno RAS log: the injector is not armed (use -faults <seed>)")
@@ -147,7 +161,7 @@ func report(err error) {
 // runControl drains a seeded job queue through the control system: a
 // service node over `partitions` midplanes of `nodesPerMidplane` compute
 // nodes, `workers` partition simulations in flight at once.
-func runControl(kind bluegene.KernelKind, partitions, nodesPerMidplane, jobs, workers int, seed, faults uint64) {
+func runControl(kind bluegene.KernelKind, partitions, nodesPerMidplane, jobs, workers int, seed, faults uint64, ions int) {
 	cfg := bluegene.ControlConfig{
 		Topology: bluegene.Topology{Racks: 1, MidplanesPerRack: partitions, NodesPerMidplane: nodesPerMidplane},
 		Kind:     kind,
@@ -156,6 +170,10 @@ func runControl(kind bluegene.KernelKind, partitions, nodesPerMidplane, jobs, wo
 	}
 	if faults != 0 {
 		cfg.Faults = bluegene.DefaultFaultPlan(faults)
+	}
+	if ions > 0 {
+		cfg.CNsPerION = ions
+		cfg.ION = &bluegene.IONConfig{}
 	}
 	s := bluegene.NewServiceNode(cfg)
 	queue := bluegene.GenerateControlJobs(seed, jobs, partitions)

@@ -1,0 +1,102 @@
+// Command ionbench measures the I/O-node aggregation subsystem and
+// writes a machine-readable benchmark report (BENCH_ion.json by
+// default): for each kernel and CN:ION fan-in ratio, the elapsed time,
+// aggregate and per-compute-node bandwidth through the shared
+// collective-tree uplink, the CN-side stall cycles the ingress credit
+// gate charges to the UPC, and the coalescer/cache engagement counters.
+// Every cell is run twice; the tool exits nonzero if any rerun is not
+// bit-identical (counters and elapsed cycles both).
+//
+//	go run ./cmd/ionbench                 # full sweep
+//	go run ./cmd/ionbench -quick -out ...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"bgcnk/internal/experiments"
+	"bgcnk/internal/machine"
+	"bgcnk/internal/sim/replica"
+)
+
+type ionRow struct {
+	Kernel    string  `json:"kernel"`
+	Ratio     int     `json:"cn_per_ion"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	AggMBps   float64 `json:"aggregate_mbps"`
+	PerCNMBps float64 `json:"per_cn_mbps"`
+	StallKcyc float64 `json:"cn_stall_kcycles"`
+	Admits    uint64  `json:"ingress_admits"`
+	Coalesced uint64  `json:"coalesced_writes"`
+	HitRate   float64 `json:"cache_hit_pct"`
+	Identical bool    `json:"identical_rerun"`
+}
+
+type ionReport struct {
+	CPUs    int      `json:"host_cpus"`
+	Workers int      `json:"workers"`
+	Rows    []ionRow `json:"aggregation_sweep"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_ion.json", "output path")
+	quick := flag.Bool("quick", false, "small sweep for CI smoke")
+	flag.Parse()
+
+	ratios := []int{8, 16, 32, 64, 128}
+	if *quick {
+		ratios = []int{8, 32, 128}
+	}
+	kinds := []struct {
+		kind machine.KernelKind
+		name string
+	}{
+		{machine.KindCNK, "cnk"},
+		{machine.KindFWK, "fwk"},
+	}
+	workers := replica.DefaultWorkers()
+	rep := ionReport{CPUs: runtime.NumCPU(), Workers: workers}
+
+	// Each (kernel, ratio) cell builds its own machine, so the whole
+	// sweep fans across the worker pool; rows land in sweep order.
+	rep.Rows = replica.Map(workers, len(kinds)*len(ratios), func(idx int) ionRow {
+		k := kinds[idx/len(ratios)]
+		ratio := ratios[idx%len(ratios)]
+		m, err := experiments.MeasureIOScale(k.kind, ratio)
+		fail(err)
+		return ionRow{
+			Kernel: k.name, Ratio: ratio,
+			ElapsedMs: m.ElapsedMs, AggMBps: m.AggMBps, PerCNMBps: m.PerCNMBps,
+			StallKcyc: m.StallKcyc, Admits: m.Admits, Coalesced: m.Coalesced,
+			HitRate: m.HitRate, Identical: m.Identical,
+		}
+	})
+	for _, r := range rep.Rows {
+		if !r.Identical {
+			fmt.Fprintf(os.Stderr, "FATAL: %s %d CN/ION rerun diverged — determinism broken\n", r.Kernel, r.Ratio)
+			os.Exit(1)
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	fail(err)
+	blob = append(blob, '\n')
+	fail(os.WriteFile(*out, blob, 0o644))
+	fmt.Printf("wrote %s (%d cpus, %d workers)\n", *out, rep.CPUs, workers)
+	for _, r := range rep.Rows {
+		fmt.Printf("  %s %3d CN/ION: %8.3f ms, %7.2f MB/s agg (%5.3f per CN), stall %9.1f kcyc, admits %5d, coalesced %4d, hit %5.1f%%, exact=%v\n",
+			r.Kernel, r.Ratio, r.ElapsedMs, r.AggMBps, r.PerCNMBps,
+			r.StallKcyc, r.Admits, r.Coalesced, r.HitRate, r.Identical)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

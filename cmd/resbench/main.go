@@ -76,12 +76,22 @@ type recoveryRow struct {
 	Identical         bool    `json:"identical_to_crash_free"`
 }
 
+type ionCkptRow struct {
+	Kernel     string  `json:"kernel"`
+	Jobs       int     `json:"jobs"`
+	Restarts   int     `json:"restarts"`
+	MakespanMs float64 `json:"makespan_ms"`
+	Identical  bool    `json:"identical"`
+	Signature  string  `json:"signature"`
+}
+
 type benchReport struct {
 	CPUs     int           `json:"host_cpus"`
 	Workers  int           `json:"workers"`
 	CkptCost []ckptCostRow `json:"checkpoint_cost"`
 	Sweep    []sweepRow    `json:"completion_sweep"`
 	Recovery []recoveryRow `json:"recovery_latency"`
+	IONCkpt  []ionCkptRow  `json:"ion_checkpoint_restart"`
 }
 
 func main() {
@@ -243,6 +253,45 @@ func main() {
 		}
 	}
 
+	// Checkpoint-through-cache: rerun the faulty checkpointed drain with
+	// the ION aggregation subsystem armed, so every job's file I/O now
+	// flows through the shared uplink, ingress credits, coalescer and
+	// write-back cache — and restarts resume from images sealed *through*
+	// that cache. Restart determinism must be unchanged: the parallel
+	// drain lands bit-identical to the serial one, gated like the rows
+	// above.
+	ionDrain := func(kind bluegene.KernelKind, w int) *bluegene.DrainResult {
+		plan := &bluegene.FaultPlan{Seed: 0x6b1f, DDRUncorrectable: 4e-3}
+		if kind == bluegene.FWK {
+			plan.FWKPanicEvery = 1
+		}
+		res, err := bluegene.NewServiceNode(bluegene.ControlConfig{
+			Topology: topo, Kind: kind, Seed: *seed, Workers: w,
+			Faults: plan,
+			Ckpt:   bluegene.CkptConfig{Enabled: true, Interval: 1},
+			ION:    &bluegene.IONConfig{QueueDepth: 4, CacheBlocks: 16},
+		}).Drain(jobs)
+		fail(err)
+		return res
+	}
+	rep.IONCkpt = replica.Map(workers, len(kinds), func(ki int) ionCkptRow {
+		k := kinds[ki]
+		par := ionDrain(k.kind, workers)
+		serial := ionDrain(k.kind, 1)
+		return ionCkptRow{
+			Kernel: k.name, Jobs: len(jobs), Restarts: par.Restarts,
+			MakespanMs: par.Sched.Makespan.Seconds() * 1e3,
+			Identical:  par.Signature() == serial.Signature(),
+			Signature:  fmt.Sprintf("%016x", par.Signature()),
+		}
+	})
+	for _, ir := range rep.IONCkpt {
+		if !ir.Identical {
+			fmt.Fprintf(os.Stderr, "FATAL: %s drain through ION cache diverged from serial\n", ir.Kernel)
+			os.Exit(1)
+		}
+	}
+
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	fail(err)
 	blob = append(blob, '\n')
@@ -260,6 +309,10 @@ func main() {
 		fmt.Printf("  %s jobs=%d: journal %5d B / %3d records, %d crashes, %d recoveries, replay latency %8.1f us, exact=%v\n",
 			rr.Kernel, rr.Jobs, rr.JournalBytes, rr.JournalRecords, rr.Crashes, rr.Recoveries,
 			rr.RecoveryLatencyUs, rr.Identical)
+	}
+	for _, ir := range rep.IONCkpt {
+		fmt.Printf("  %s through ION cache: %d/%d jobs, %2d restarts, makespan %8.3f ms, exact=%v\n",
+			ir.Kernel, ir.Jobs, ir.Jobs, ir.Restarts, ir.MakespanMs, ir.Identical)
 	}
 }
 

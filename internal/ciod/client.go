@@ -3,6 +3,7 @@ package ciod
 import (
 	"bgcnk/internal/collective"
 	"bgcnk/internal/fs"
+	"bgcnk/internal/ion"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
@@ -43,6 +44,7 @@ type Client struct {
 	upc     *upc.UPC
 	policy  RetryPolicy
 	faults  *ras.NodeFaults
+	ion     *ion.Node
 
 	Calls    uint64
 	Timeouts uint64
@@ -65,6 +67,14 @@ func (cl *Client) SetRetryPolicy(p RetryPolicy) { cl.policy = p }
 // AttachFaults routes the client's give-up events (retries exhausted,
 // EIO surfaced) to the machine's RAS log.
 func (cl *Client) AttachFaults(f *ras.NodeFaults) { cl.faults = f }
+
+// AttachION arms the I/O-node aggregation path: every attempt first
+// acquires an ingress credit from the shared ION — stalling, with the
+// stall cycles on this chip's UPC unit, when the fan-in is saturated —
+// and crosses the uplink wrapped in a mux frame naming this compute
+// node and reply tag. The serving daemon releases the credit when it
+// disposes of the message.
+func (cl *Client) AttachION(n *ion.Node) { cl.ion = n }
 
 // Call implements Transport. With a retry policy armed, each attempt uses
 // a fresh tag (so a late reply to an abandoned attempt can never be
@@ -91,7 +101,14 @@ func (cl *Client) Call(c *sim.Coro, req *Request) *Reply {
 		}
 		cl.nextTag++
 		tag := cl.nextTag
-		cl.ep.Send(-1, tag, data)
+		wire := data
+		if cl.ion != nil {
+			cl.ion.Acquire(c, cl.ep.ID(), cl.upc)
+			wire = ion.MarshalFrame(&ion.Frame{
+				CN: int32(cl.ep.ID()), PID: req.PID, Tag: tag, Payload: data,
+			})
+		}
+		cl.ep.Send(-1, tag, wire)
 		timeout := sim.Forever
 		if cl.policy.Timeout > 0 {
 			timeout = cl.policy.Timeout
@@ -163,5 +180,5 @@ func (l *Loopback) Call(c *sim.Coro, req *Request) *Reply {
 		return &Reply{Errno: kernel.ESRCH}
 	}
 	l.srv.Calls++
-	return l.srv.execute(p, req)
+	return l.srv.execute(c, p, req)
 }

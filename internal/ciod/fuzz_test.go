@@ -68,7 +68,7 @@ func FuzzMarshal(f *testing.F) {
 // code with fully populated fields (the fuzzer's seed property, asserted
 // deterministically so `go test` alone covers it).
 func TestMarshalRoundTripExhaustive(t *testing.T) {
-	for op := OpOpen; op <= OpProcExit; op++ {
+	for op := OpOpen; op <= OpFsync; op++ {
 		req := &Request{
 			Op: op, PID: 100 + uint32(op), TID: 7, UID: 1, GID: 2,
 			FD: int32(op) - 3, FD2: 9, Flags: 0xdeadbeefcafe, Mode: 0755,

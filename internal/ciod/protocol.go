@@ -38,11 +38,12 @@ const (
 	OpReaddir
 	OpProcStart // create the ioproxy for a process
 	OpProcExit  // tear it down
+	OpFsync     // flush a descriptor's dirty cache blocks to stable storage
 )
 
 var opNames = [...]string{"open", "close", "read", "write", "lseek", "stat",
 	"fstat", "unlink", "rename", "mkdir", "rmdir", "dup", "getcwd", "chdir",
-	"truncate", "readdir", "proc_start", "proc_exit"}
+	"truncate", "readdir", "proc_start", "proc_exit", "fsync"}
 
 // OpName returns a debug name for an op code.
 func OpName(op uint8) string {

@@ -6,9 +6,11 @@ import (
 
 	"bgcnk/internal/collective"
 	"bgcnk/internal/fs"
+	"bgcnk/internal/ion"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
 )
 
 // Costs on the I/O-node side (Linux syscall execution plus the CIOD shared
@@ -16,6 +18,10 @@ import (
 const (
 	costDispatch = sim.Cycles(600)  // CIOD retrieve + route via shared buffer
 	costExecute  = sim.Cycles(2500) // Linux syscall on the I/O node
+	// costCoalescedWrite is what each extra same-fd write merged into one
+	// batch costs instead of a full costExecute — the request coalescer's
+	// win on the serving side.
+	costCoalescedWrite = sim.Cycles(400)
 )
 
 // Server is the Control and I/O Daemon running on an I/O node: it
@@ -43,6 +49,12 @@ type Server struct {
 	restartDelay sim.Cycles
 	down         bool
 	gen          uint64
+
+	// ionNode, when set, arms the I/O-node aggregation path: inbound
+	// messages are mux frames to unwrap, every disposed message releases
+	// its ingress credit, same-fd writes batch through the coalescer, and
+	// file data moves through the write-back buffer cache.
+	ionNode *ion.Node
 
 	Calls    uint64 // function-shipped calls served
 	Proxies  int    // ioproxies ever created
@@ -87,6 +99,20 @@ func (s *Server) SetFaults(f *ras.NodeFaults, restartDelay sim.Cycles) {
 	s.restartDelay = restartDelay
 }
 
+// AttachION arms the I/O-node aggregation path on the serving side. The
+// same Node must be attached to every Client sharing this daemon; the
+// server releases each admitted message's ingress credit at exactly one
+// of its disposal points (served, EIO-flushed, EINVAL-rejected, or
+// dropped by a dead daemon).
+func (s *Server) AttachION(n *ion.Node) { s.ionNode = n }
+
+// ionRelease retires one admitted message's ingress credit.
+func (s *Server) ionRelease() {
+	if s.ionNode != nil {
+		s.ionNode.Release()
+	}
+}
+
 // dispatcher is CIOD's main loop: receive, route to the proxy thread.
 func (s *Server) dispatcher(c *sim.Coro) {
 	for {
@@ -95,12 +121,26 @@ func (s *Server) dispatcher(c *sim.Coro) {
 			// Messages addressed to a dead daemon vanish; the client's
 			// timeout/retry path covers the loss.
 			s.Dropped++
+			s.ionRelease()
 			continue
 		}
 		c.Sleep(costDispatch)
-		req, err := UnmarshalRequest(msg.Data)
+		payload := msg.Data
+		if s.ionNode != nil {
+			fr, err := ion.UnmarshalFrame(msg.Data)
+			if err != nil || int(fr.CN) != msg.From || fr.Tag != msg.Tag {
+				// A corrupt or misrouted frame cannot be demultiplexed;
+				// reject it to the link-level sender rather than guess.
+				s.ep.Send(msg.From, msg.Tag, MarshalReply(&Reply{Errno: kernel.EINVAL}))
+				s.ionRelease()
+				continue
+			}
+			payload = fr.Payload
+		}
+		req, err := UnmarshalRequest(payload)
 		if err != nil {
 			s.ep.Send(msg.From, msg.Tag, MarshalReply(&Reply{Errno: kernel.EINVAL}))
+			s.ionRelease()
 			continue
 		}
 		s.route(req, msg.From, msg.Tag)
@@ -122,6 +162,7 @@ func (s *Server) route(req *Request, from int, tag uint32) {
 			s.MaxProxy = live
 		}
 		s.ep.Send(from, tag, MarshalReply(&Reply{}))
+		s.ionRelease()
 		return
 	case OpProcExit:
 		// Fail any calls still queued on the dying proxy's threads with
@@ -129,15 +170,18 @@ func (s *Server) route(req *Request, from int, tag uint32) {
 		// coroutines behind them would block forever on replies that can
 		// no longer come.
 		if p, ok := s.prox[key]; ok {
+			s.flushProxyFiles(p)
 			s.failProxy(p)
 		}
 		delete(s.prox, key)
 		s.ep.Send(from, tag, MarshalReply(&Reply{}))
+		s.ionRelease()
 		return
 	}
 	p, ok := s.prox[key]
 	if !ok {
 		s.ep.Send(from, tag, MarshalReply(&Reply{Errno: kernel.ESRCH}))
+		s.ionRelease()
 		return
 	}
 	// One proxy thread per application thread (paper Section IV-A): the
@@ -168,21 +212,66 @@ func (s *Server) proxyLoop(c *sim.Coro, p *ioproxy, t *proxyThread) {
 		}
 		call := t.queue[0]
 		t.queue = t.queue[1:]
-		c.Sleep(costExecute)
-		rep := s.execute(p, call.req)
-		s.Calls++
+		// Request coalescing (ION armed): adjacent queued writes to the
+		// same descriptor merge into one batch that pays a single
+		// costExecute plus a small per-extra cost, instead of a full
+		// syscall each — the fan-in's bandwidth win.
+		batch := []pendingCall{call}
+		if s.ionNode != nil && call.req.Op == OpWrite {
+			max := s.ionNode.Config().CoalesceMax
+			for len(batch) < max && len(t.queue) > 0 {
+				nxt := t.queue[0]
+				if nxt.req.Op != OpWrite || nxt.req.FD != call.req.FD {
+					break
+				}
+				batch = append(batch, nxt)
+				t.queue = t.queue[1:]
+			}
+		}
+		c.Sleep(costExecute + costCoalescedWrite*sim.Cycles(len(batch)-1))
+		if len(batch) > 1 {
+			s.ionNode.Counters().Add(upc.ChipScope, upc.IONCoalesce, uint64(len(batch)-1))
+		}
+		for _, pc := range batch {
+			if t.dead {
+				// The daemon died mid-batch: the rest of the batch was
+				// conceptually still queued, so it gets the same EIO flush
+				// a crash gives queued calls.
+				s.ep.Send(pc.from, pc.tag, MarshalReply(&Reply{Errno: kernel.EIO}))
+				s.ionRelease()
+				continue
+			}
+			rep := s.execute(c, p, pc.req)
+			s.Calls++
+			if t.dead {
+				// Died during execution; the reply has nowhere to go (the
+				// crash already flushed EIO for whatever was still queued).
+				s.ionRelease()
+				continue
+			}
+			if s.faults != nil && s.faults.ReplyDrop() {
+				s.Dropped++
+			} else {
+				s.ep.Send(pc.from, pc.tag, MarshalReply(rep))
+			}
+			s.ionRelease()
+			if s.faults != nil {
+				if s.faults.CrashDue() {
+					s.crash()
+				}
+				if s.ionNode != nil && s.faults.IONCrashDue() {
+					// The whole I/O node dies: the daemon crashes exactly
+					// as under CrashDue, and the buffer cache loses every
+					// unflushed block.
+					if !s.down {
+						s.crash()
+					}
+					s.ionNode.Crash()
+				}
+			}
+		}
 		if t.dead {
-			// The daemon died mid-call; the reply has nowhere to go (the
-			// crash already flushed EIO for whatever was still queued).
 			return
-		}
-		if s.faults != nil && s.faults.ReplyDrop() {
-			s.Dropped++
-		} else {
-			s.ep.Send(call.from, call.tag, MarshalReply(rep))
-		}
-		if s.faults != nil && s.faults.CrashDue() {
-			s.crash()
 		}
 	}
 }
@@ -199,11 +288,27 @@ func (s *Server) failProxy(p *ioproxy) {
 		t := p.threads[tid]
 		for _, call := range t.queue {
 			s.ep.Send(call.from, call.tag, MarshalReply(&Reply{Errno: kernel.EIO}))
+			s.ionRelease()
 		}
 		t.queue = nil
 		t.dead = true
 		if t.coro != nil {
 			t.coro.Wake()
+		}
+	}
+}
+
+// flushProxyFiles writes back dirty cache blocks for every regular file
+// the proxy holds open: process exit must leave its output durable even
+// without explicit closes. Ascending-fd order keeps it deterministic;
+// nil coroutine models the daemon's background writeback.
+func (s *Server) flushProxyFiles(p *ioproxy) {
+	if s.ionNode == nil || s.ionNode.Cache() == nil {
+		return
+	}
+	for _, f := range p.client.OpenFiles() {
+		if ino, _, _, regular, errno := p.client.FileInfo(f.FD); errno == kernel.OK && regular {
+			s.ionNode.Cache().Flush(nil, ino)
 		}
 	}
 }
@@ -247,7 +352,9 @@ func (s *Server) crash() {
 // coroutines are told to exit and the map is cleared. Unlike a crash there
 // is no EIO flush — the callers behind any queued calls are gone (their
 // job was cleared), and replies to dead clients would only age in their
-// inboxes.
+// inboxes. With the ION armed the caller must Reset the ION afterwards:
+// queued calls' credits are not individually released here (their owners
+// are dead coroutines), the reset restores the whole pool.
 func (s *Server) DropProxies() {
 	keys := make([]proxyKey, 0, len(s.prox))
 	for k := range s.prox {
@@ -297,8 +404,13 @@ func (s *Server) Down() bool { return s.down }
 // execute performs the request against the proxy's filesystem client —
 // "the ioproxy decodes the message, demarshals the arguments, and performs
 // the system call that was requested by the compute node process".
-func (s *Server) execute(p *ioproxy, r *Request) *Reply {
+func (s *Server) execute(c *sim.Coro, p *ioproxy, r *Request) *Reply {
 	cl := p.client
+	if s.ionNode != nil {
+		if rep, handled := s.executeCached(c, p, r); handled {
+			return rep
+		}
+	}
 	switch r.Op {
 	case OpOpen:
 		fd, errno := cl.Open(r.Path, r.Flags, fs.Mode(r.Mode))
@@ -355,8 +467,118 @@ func (s *Server) execute(p *ioproxy, r *Request) *Reply {
 			e.str(n)
 		}
 		return &Reply{Data: e.b}
+	case OpFsync:
+		// Without a cache in front there is nothing to flush; validate
+		// the descriptor like the real daemon would.
+		return &Reply{Errno: cl.Fsync(int(r.FD))}
 	}
 	return &Reply{Errno: kernel.ENOSYS}
+}
+
+// executeCached routes cacheable file operations through the ION's
+// write-back buffer cache. It returns handled=false for everything that
+// should fall through to the direct path — non-regular files, seeks the
+// cache does not care about, and metadata ops (which only need a flush
+// first so the fs view is current). Access-mode checks mirror the fs
+// client's: the cache sits below the VFS layer and must not widen what a
+// descriptor may do.
+func (s *Server) executeCached(c *sim.Coro, p *ioproxy, r *Request) (*Reply, bool) {
+	ca := s.ionNode.Cache()
+	if ca == nil {
+		return nil, false
+	}
+	cl := p.client
+	switch r.Op {
+	case OpOpen:
+		fd, errno := cl.Open(r.Path, r.Flags, fs.Mode(r.Mode))
+		if errno == kernel.OK && r.Flags&kernel.OTrunc != 0 && r.Flags&3 != kernel.ORdonly {
+			// Open just truncated the inode underneath the cache; trim
+			// cached blocks too so stale data cannot resurface.
+			if ino, _, _, regular, e := cl.FileInfo(fd); e == kernel.OK && regular {
+				ca.Truncate(c, ino, 0)
+			}
+		}
+		return &Reply{Ret: uint64(int64(fd)), Errno: errno}, true
+	case OpRead:
+		ino, off, flags, regular, errno := cl.FileInfo(int(r.FD))
+		if errno != kernel.OK || !regular {
+			return nil, false
+		}
+		if flags&3 == kernel.OWronly {
+			return &Reply{Errno: kernel.EBADF}, true
+		}
+		data := ca.Read(c, ino, off, int(r.Size))
+		cl.SetOffset(int(r.FD), off+uint64(len(data)))
+		return &Reply{Ret: uint64(len(data)), Data: data}, true
+	case OpWrite:
+		ino, off, flags, regular, errno := cl.FileInfo(int(r.FD))
+		if errno != kernel.OK || !regular {
+			return nil, false
+		}
+		if flags&3 == kernel.ORdonly {
+			return &Reply{Errno: kernel.EBADF}, true
+		}
+		if flags&kernel.OAppend != 0 {
+			off = ca.Size(ino) // effective EOF, unflushed extents included
+		}
+		ca.Write(c, ino, off, r.Data)
+		cl.SetOffset(int(r.FD), off+uint64(len(r.Data)))
+		return &Reply{Ret: uint64(len(r.Data))}, true
+	case OpFsync:
+		ino, _, _, regular, errno := cl.FileInfo(int(r.FD))
+		if errno != kernel.OK {
+			return &Reply{Errno: errno}, true
+		}
+		if regular {
+			ca.Flush(c, ino)
+		}
+		return &Reply{}, true
+	case OpClose:
+		// Flush-on-close (close-to-open consistency, as NFS gives the
+		// real ION): data must be durable once the descriptor is gone.
+		// The direct path then performs the close itself.
+		if ino, _, _, regular, errno := cl.FileInfo(int(r.FD)); errno == kernel.OK && regular {
+			ca.Flush(c, ino)
+		}
+		return nil, false
+	case OpLseek:
+		// Only SEEK_END depends on the size the cache may have extended.
+		if int(r.Whence) != kernel.SeekEnd {
+			return nil, false
+		}
+		ino, _, _, regular, errno := cl.FileInfo(int(r.FD))
+		if errno != kernel.OK || !regular {
+			return nil, false
+		}
+		pos := int64(ca.Size(ino)) + r.Off
+		if pos < 0 {
+			return &Reply{Errno: kernel.EINVAL}, true
+		}
+		cl.SetOffset(int(r.FD), uint64(pos))
+		return &Reply{Ret: uint64(pos)}, true
+	case OpFstat:
+		// Flush so the direct stat sees every cached extent.
+		if ino, _, _, regular, errno := cl.FileInfo(int(r.FD)); errno == kernel.OK && regular {
+			ca.Flush(c, ino)
+		}
+		return nil, false
+	case OpStat:
+		if st, errno := cl.Stat(r.Path); errno == kernel.OK && st.Type == fs.TypeFile {
+			ca.Flush(c, st.Ino)
+		}
+		return nil, false
+	case OpTruncate:
+		st, errno := cl.Stat(r.Path)
+		if errno != kernel.OK || st.Type != fs.TypeFile {
+			return nil, false
+		}
+		if errno := cl.Truncate(r.Path, r.Size); errno != kernel.OK {
+			return &Reply{Errno: errno}, true
+		}
+		ca.Truncate(c, st.Ino, r.Size)
+		return &Reply{}, true
+	}
+	return nil, false
 }
 
 // DecodeNames parses an OpReaddir reply payload.

@@ -116,6 +116,11 @@ func (k *Kernel) shipIO(t *kernel.Thread, p *Proc, num kernel.Sys, args []uint64
 	case kernel.SysDup:
 		req.Op = ciod.OpDup
 		req.FD = int32(arg(0))
+	case kernel.SysFsync:
+		// Shipped like any other file call; with the ION cache armed the
+		// daemon writes the descriptor's dirty blocks back before replying.
+		req.Op = ciod.OpFsync
+		req.FD = int32(arg(0))
 	case kernel.SysGetcwd:
 		req.Op = ciod.OpGetcwd
 		outBuf = hw.VAddr(arg(0))

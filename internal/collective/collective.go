@@ -52,6 +52,13 @@ type Tree struct {
 	cfg Config
 	ion *Endpoint
 	cns map[int]*Endpoint
+
+	// shareUp serializes every CN→ION transfer on one shared uplink (the
+	// physical tree's root edge into the I/O node) in addition to each
+	// sender's own NIC. Armed by the ION aggregation subsystem; off, the
+	// legacy per-endpoint model is byte-identical.
+	shareUp bool
+	upBusy  sim.Cycles
 }
 
 // Endpoint is one node's tree interface: an inbox plus a serialized
@@ -96,6 +103,30 @@ func NewTree(eng *sim.Engine, cfg Config, cnIDs []int) *Tree {
 
 // ION returns the I/O-node endpoint.
 func (t *Tree) ION() *Endpoint { return t.ion }
+
+// ShareUplink arms shared-uplink serialization: all CN→ION traffic on
+// this tree contends for the single link into the I/O node, on top of
+// each sender's own NIC serialization. This is what makes fan-in
+// bandwidth saturate as the CN:ION ratio grows.
+func (t *Tree) ShareUplink() { t.shareUp = true }
+
+// UplinkTransfer blocks c while n bytes cross the shared uplink and
+// returns the cycles spent waiting for the link to come free. The FWK's
+// network-filesystem client uses this for data operations: unlike CNK's
+// function shipping there is no asynchronous send FIFO — the caller
+// sits in the kernel for the whole synchronous RPC.
+func (t *Tree) UplinkTransfer(c *sim.Coro, n int) sim.Cycles {
+	ser := t.ion.sendCost(n)
+	now := t.eng.Now()
+	start := now
+	if t.upBusy > start {
+		start = t.upBusy
+	}
+	t.upBusy = start + ser
+	stall := start - now
+	c.Sleep(stall + ser + t.cfg.Latency)
+	return stall
+}
 
 // CN returns the compute-node endpoint with the given ID.
 func (t *Tree) CN(id int) *Endpoint {
@@ -164,7 +195,13 @@ func (e *Endpoint) Send(to int, tag uint32, data []byte) {
 	if e.busyUntil > start {
 		start = e.busyUntil
 	}
+	if !e.ion && e.tree.shareUp && e.tree.upBusy > start {
+		start = e.tree.upBusy
+	}
 	e.busyUntil = start + ser
+	if !e.ion && e.tree.shareUp {
+		e.tree.upBusy = e.busyUntil
+	}
 	arrive := e.busyUntil + e.tree.cfg.Latency
 	msg := Message{From: e.id, Tag: tag, Data: append([]byte(nil), data...)}
 	e.Sent++

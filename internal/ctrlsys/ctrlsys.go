@@ -23,6 +23,7 @@ package ctrlsys
 import (
 	"fmt"
 
+	"bgcnk/internal/ion"
 	"bgcnk/internal/machine"
 	"bgcnk/internal/ras"
 )
@@ -84,6 +85,12 @@ type Config struct {
 	Faults *ras.Plan
 	// Stripped selects the stripped FWK image (smaller, faster boot).
 	Stripped bool
+	// CNsPerION sets each partition's compute-to-I/O-node ratio (0 = one
+	// ION per partition).
+	CNsPerION int
+	// ION, when non-nil, arms the I/O-node aggregation subsystem (shared
+	// uplink, ingress backpressure, write-back cache) on every partition.
+	ION *ion.Config
 	// Ckpt arms checkpoint/restart: jobs snapshot at exchange-round
 	// boundaries and fault-killed jobs restart from their last image.
 	Ckpt CkptConfig
@@ -259,10 +266,12 @@ func (s *ServiceNode) BootPartition(p *Partition, jobSeed uint64) error {
 		Stripped:         s.cfg.Stripped,
 	})
 	mcfg := machine.Config{
-		Nodes:    p.Nodes,
-		Kind:     s.cfg.Kind,
-		Seed:     jobSeed,
-		Stripped: s.cfg.Stripped,
+		Nodes:     p.Nodes,
+		Kind:      s.cfg.Kind,
+		Seed:      jobSeed,
+		Stripped:  s.cfg.Stripped,
+		CNsPerION: s.cfg.CNsPerION,
+		ION:       s.cfg.ION,
 	}
 	if s.cfg.Faults.Enabled() {
 		// Fold the job seed into the plan's own seed: the fault schedule

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"bgcnk/internal/ckpt"
+	"bgcnk/internal/ion"
 	"bgcnk/internal/machine"
 	"bgcnk/internal/ras"
 )
@@ -105,6 +106,65 @@ func TestRestartDeterminism(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestRestartDeterminismThroughIONCache re-proves the restart contract
+// with the I/O-node aggregation subsystem armed on every partition: the
+// checkpoint stream now flows through the shared uplink, the ingress
+// credit gate and the write-back buffer cache, and a job restarted from
+// such a checkpoint must still signature-match its fault-free run — with
+// the whole drain bit-identical across worker counts (run under -race in
+// CI).
+func TestRestartDeterminismThroughIONCache(t *testing.T) {
+	icfg := &ion.Config{QueueDepth: 4, CacheBlocks: 16}
+	drain := func(kind machine.KernelKind, plan *ras.Plan, workers int) *DrainResult {
+		t.Helper()
+		s := New(Config{
+			Topology: resilienceTopo(), Kind: kind, Seed: 42, Workers: workers,
+			Faults: plan,
+			Ckpt:   CkptConfig{Enabled: true, Interval: 1},
+			ION:    icfg,
+		})
+		res, err := s.Drain(resilienceJobs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	const seed = 0xd00d
+	for _, kind := range []machine.KernelKind{machine.KindCNK, machine.KindFWK} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			faulty := drain(kind, resilientPlan(kind, seed), 2)
+			fresh := drain(kind, nil, 2)
+			restarted := 0
+			for i, r := range faulty.Results {
+				if r.BudgetExhausted {
+					continue
+				}
+				if r.Restarts > 0 {
+					restarted++
+				}
+				if got, want := ckpt.WorkSignature(r.Counters), ckpt.WorkSignature(fresh.Results[i].Counters); got != want {
+					t.Errorf("job %d (restarts %d): work signature %016x, fault-free %016x",
+						i, r.Restarts, got, want)
+				}
+				if fmt.Sprint(r.ExitCodes) != fmt.Sprint(fresh.Results[i].ExitCodes) {
+					t.Errorf("job %d: exit codes %v, fault-free %v",
+						i, r.ExitCodes, fresh.Results[i].ExitCodes)
+				}
+			}
+			if restarted == 0 {
+				t.Error("no job completed after a restart; the cache-path property was tested vacuously")
+			}
+			for _, workers := range []int{1, 8} {
+				other := drain(kind, resilientPlan(kind, seed), workers)
+				if a, b := faulty.Signature(), other.Signature(); a != b {
+					t.Errorf("drain signature at %d workers %016x != 2 workers %016x", workers, b, a)
+				}
+			}
+		})
 	}
 }
 

@@ -32,6 +32,7 @@ func TestRunBoot(t *testing.T)      { r, err := RunBoot(quick); check(t, r, err)
 func TestRunRepro(t *testing.T)     { r, err := RunRepro(quick); check(t, r, err) }
 func TestRunFaults(t *testing.T)    { r, err := RunFaults(quick); check(t, r, err) }
 func TestRunMTBF(t *testing.T)      { r, err := RunMTBF(quick); check(t, r, err) }
+func TestRunIOScale(t *testing.T)   { r, err := RunIOScale(quick); check(t, r, err) }
 
 func TestRunAblations(t *testing.T) { r, err := RunAblations(quick); check(t, r, err) }
 

@@ -197,6 +197,39 @@ func (c *Client) Write(fd int, buf []byte) (int, kernel.Errno) {
 	return len(buf), kernel.OK
 }
 
+// FileInfo exposes a descriptor's identity to the I/O node's buffer
+// cache: the inode number, the description's current offset and flags,
+// and whether it names a regular file (only regular files are cacheable;
+// everything else falls through to the direct path). Permission checks
+// already happened at open time, so the cache may address the inode
+// directly.
+func (c *Client) FileInfo(fd int) (ino, offset, flags uint64, regular bool, errno kernel.Errno) {
+	of, e := c.file(fd)
+	if e != kernel.OK {
+		return 0, 0, 0, false, e
+	}
+	return of.node.ino, of.Offset, of.Flags, of.node.typ == TypeFile, kernel.OK
+}
+
+// SetOffset stores the descriptor's offset after a cached read or write
+// advanced it on the cache's side of the fence.
+func (c *Client) SetOffset(fd int, off uint64) kernel.Errno {
+	of, errno := c.file(fd)
+	if errno != kernel.OK {
+		return errno
+	}
+	of.Offset = off
+	return kernel.OK
+}
+
+// Fsync validates the descriptor. The in-memory fs is always "stable
+// storage"; when an ION buffer cache sits in front of it, the cache
+// intercepts fsync to write back the file's dirty blocks first.
+func (c *Client) Fsync(fd int) kernel.Errno {
+	_, errno := c.file(fd)
+	return errno
+}
+
 // Lseek repositions the descriptor's offset.
 func (c *Client) Lseek(fd int, off int64, whence int) (uint64, kernel.Errno) {
 	of, errno := c.file(fd)

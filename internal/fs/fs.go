@@ -88,6 +88,7 @@ func (n *inode) stat() Stat {
 type FS struct {
 	root    *inode
 	nextIno uint64
+	byIno   map[uint64]*inode
 	clock   func() uint64 // supplies mtimes; defaults to a counter
 	tick    uint64
 }
@@ -95,8 +96,9 @@ type FS struct {
 // New returns an empty filesystem whose root is mode 0755 and owned by
 // root.
 func New() *FS {
-	f := &FS{nextIno: 2}
+	f := &FS{nextIno: 2, byIno: map[uint64]*inode{}}
 	f.root = &inode{ino: 1, typ: TypeDir, mode: 0755, nlink: 2, entries: map[string]*inode{}}
+	f.byIno[1] = f.root
 	return f
 }
 
@@ -118,6 +120,7 @@ func (f *FS) newInode(typ FileType, mode Mode, c Cred) *inode {
 		n.entries = map[string]*inode{}
 		n.nlink = 2
 	}
+	f.byIno[n.ino] = n
 	return n
 }
 
@@ -437,6 +440,76 @@ func truncate(n *inode, size uint64) {
 		return
 	}
 	n.data = append(n.data, make([]byte, size-uint64(len(n.data)))...)
+}
+
+// Inode-addressed access, used by the I/O node's write-back buffer cache.
+// The cache sits below the VFS layer: path resolution and permission
+// checks happen at open time; fills and writebacks address the inode
+// directly, exactly as the Linux page cache does. An inode stays
+// addressable while open even after the last link goes away.
+
+// fileInode returns the regular file with the given inode number.
+func (f *FS) fileInode(ino uint64) (*inode, kernel.Errno) {
+	n, ok := f.byIno[ino]
+	if !ok {
+		return nil, kernel.ENOENT
+	}
+	if n.typ != TypeFile {
+		return nil, kernel.EISDIR
+	}
+	return n, kernel.OK
+}
+
+// InodeSize returns the current on-"disk" size of the file.
+func (f *FS) InodeSize(ino uint64) (uint64, kernel.Errno) {
+	n, errno := f.fileInode(ino)
+	if errno != kernel.OK {
+		return 0, errno
+	}
+	return uint64(len(n.data)), kernel.OK
+}
+
+// ReadInode reads up to count bytes at off; short at EOF, empty past it.
+func (f *FS) ReadInode(ino, off uint64, count int) ([]byte, kernel.Errno) {
+	n, errno := f.fileInode(ino)
+	if errno != kernel.OK {
+		return nil, errno
+	}
+	if off >= uint64(len(n.data)) {
+		return nil, kernel.OK
+	}
+	end := off + uint64(count)
+	if end > uint64(len(n.data)) {
+		end = uint64(len(n.data))
+	}
+	return append([]byte(nil), n.data[off:end]...), kernel.OK
+}
+
+// WriteInode writes data at off, zero-filling any gap and extending the
+// file as needed (a dirty-block writeback).
+func (f *FS) WriteInode(ino, off uint64, data []byte) kernel.Errno {
+	n, errno := f.fileInode(ino)
+	if errno != kernel.OK {
+		return errno
+	}
+	if end := off + uint64(len(data)); end > uint64(len(n.data)) {
+		truncate(n, end)
+	}
+	copy(n.data[off:], data)
+	n.mtime = f.now()
+	return kernel.OK
+}
+
+// TruncateInode sets the file to size, bypassing permission checks (the
+// caller validated the open-time credentials).
+func (f *FS) TruncateInode(ino, size uint64) kernel.Errno {
+	n, errno := f.fileInode(ino)
+	if errno != kernel.OK {
+		return errno
+	}
+	truncate(n, size)
+	n.mtime = f.now()
+	return kernel.OK
 }
 
 // Chmod changes permission bits (owner or root only).

@@ -78,6 +78,12 @@ type Config struct {
 	// FSLatency adds per-operation latency modelling a network
 	// filesystem client (NFS on the paper's I/O nodes).
 	FSLatency sim.Cycles
+	// Uplink, when set, charges read/write data bytes to a shared
+	// I/O-node uplink (the machine wires it to the collective tree's
+	// shared link when the ION subsystem is armed). Only data operations
+	// pay: NFS attribute caching keeps metadata local, which is the
+	// asymmetry against CNK's ship-everything protocol.
+	Uplink func(c *sim.Coro, bytes int) sim.Cycles
 }
 
 // Kernel is one node's FWK instance.

@@ -5,6 +5,7 @@ import (
 	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/upc"
 )
 
 // fsOpCost is the local filesystem/VFS work per call, on top of the
@@ -27,7 +28,28 @@ func (k *Kernel) Syscall(t *kernel.Thread, num kernel.Sys, args []uint64) (uint6
 	}
 	if num.IsFileIO() {
 		t.Coro().Sleep(fsOpCost + k.cfg.FSLatency)
-		return k.fileIO(t, p, num, args)
+		ret, errno := k.fileIO(t, p, num, args)
+		if k.cfg.Uplink != nil && errno == kernel.OK {
+			// Data operations cross the shared I/O-node uplink as a
+			// synchronous RPC: the caller sits in the kernel for the whole
+			// transfer, and link contention lands on this chip's stall
+			// counters. Metadata stays local (NFS attribute caching).
+			var bytes int
+			switch num {
+			case kernel.SysRead:
+				bytes = int(ret)
+			case kernel.SysWrite:
+				bytes = int(arg(2))
+			}
+			if bytes > 0 {
+				if stall := k.cfg.Uplink(t.Coro(), bytes); stall > 0 {
+					u := k.Chip.UPC
+					u.Inc(upc.ChipScope, upc.IONStall)
+					u.Add(upc.ChipScope, upc.IONStallCycles, uint64(stall))
+				}
+			}
+		}
+		return ret, errno
 	}
 	switch num {
 	case kernel.SysBrk:
@@ -225,6 +247,10 @@ func (k *Kernel) fileIO(t *kernel.Thread, p *Proc, num kernel.Sys, args []uint64
 	case kernel.SysDup:
 		fd, errno := p.fsc.Dup(int(arg(0)))
 		return uint64(int64(fd)), errno
+	case kernel.SysFsync:
+		// The local/NFS-modelled fs is always stable storage; validate the
+		// descriptor like the real kernel would.
+		return 0, p.fsc.Fsync(int(arg(0)))
 	case kernel.SysGetcwd:
 		s := p.fsc.Cwd()
 		if uint64(len(s)+1) > arg(1) {

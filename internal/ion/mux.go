@@ -1,0 +1,63 @@
+package ion
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame is the multiplexed CN→ION framing. When the ION subsystem is
+// armed, every function-shipped request crosses the shared uplink wrapped
+// in a frame naming its originating compute node, process and reply tag,
+// so one daemon can demultiplex many compute nodes' traffic arriving
+// interleaved on a single link. The format is strict — fixed magic, exact
+// payload length, no trailing bytes — so a corrupted frame is rejected
+// rather than misrouted.
+type Frame struct {
+	CN      int32  // originating compute node ID
+	PID     uint32 // process whose ioproxy should serve the payload
+	Tag     uint32 // reply tag the CN is waiting on
+	Payload []byte // marshalled ciod request
+}
+
+// frameMagic guards against unframed traffic reaching a demux and vice
+// versa.
+const frameMagic = 0xB6
+
+// frameHeader is magic(1) + cn(4) + pid(4) + tag(4) + paylen(4).
+const frameHeader = 1 + 4 + 4 + 4 + 4
+
+// MarshalFrame renders the frame in wire format (big-endian, like the
+// rest of the protocol stack).
+func MarshalFrame(f *Frame) []byte {
+	b := make([]byte, 0, frameHeader+len(f.Payload))
+	b = append(b, frameMagic)
+	b = binary.BigEndian.AppendUint32(b, uint32(f.CN))
+	b = binary.BigEndian.AppendUint32(b, f.PID)
+	b = binary.BigEndian.AppendUint32(b, f.Tag)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(f.Payload)))
+	b = append(b, f.Payload...)
+	return b
+}
+
+// UnmarshalFrame parses wire format strictly: bad magic, short buffers,
+// and length mismatches (including trailing garbage) are all errors.
+func UnmarshalFrame(b []byte) (*Frame, error) {
+	if len(b) < frameHeader {
+		return nil, fmt.Errorf("ion: frame truncated (%d bytes)", len(b))
+	}
+	if b[0] != frameMagic {
+		return nil, fmt.Errorf("ion: bad frame magic %#x", b[0])
+	}
+	f := &Frame{
+		CN:  int32(binary.BigEndian.Uint32(b[1:5])),
+		PID: binary.BigEndian.Uint32(b[5:9]),
+		Tag: binary.BigEndian.Uint32(b[9:13]),
+	}
+	n := binary.BigEndian.Uint32(b[13:17])
+	rest := b[frameHeader:]
+	if uint64(n) != uint64(len(rest)) {
+		return nil, fmt.Errorf("ion: frame payload length %d, have %d", n, len(rest))
+	}
+	f.Payload = append([]byte(nil), rest...)
+	return f, nil
+}

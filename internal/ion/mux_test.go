@@ -1,0 +1,88 @@
+package ion
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzIONMux feeds arbitrary bytes to the multiplexed-frame decoder and
+// checks the strict-format invariants: no input panics or over-reads, any
+// accepted frame re-marshals to the identical bytes (the format has no
+// redundancy, so canonical re-encoding must reproduce the input), and the
+// typed round trip is exact.
+func FuzzIONMux(f *testing.F) {
+	f.Add(MarshalFrame(&Frame{CN: 0, PID: 1, Tag: 1}))
+	f.Add(MarshalFrame(&Frame{CN: 7, PID: 100, Tag: 42, Payload: []byte("shipped request")}))
+	f.Add(MarshalFrame(&Frame{CN: -1, PID: ^uint32(0), Tag: ^uint32(0),
+		Payload: bytes.Repeat([]byte{0xab}, 300)}))
+	// Corruption shapes a shared uplink would produce: truncated frames,
+	// bad magic, and a payload-length field lying in both directions.
+	whole := MarshalFrame(&Frame{CN: 3, PID: 9, Tag: 5, Payload: []byte("cut me")})
+	f.Add(whole[:len(whole)/2])
+	f.Add(whole[:len(whole)-1])
+	f.Add(append(append([]byte(nil), whole...), 0xff))
+	bad := append([]byte(nil), whole...)
+	bad[0] = 0x00
+	f.Add(bad)
+	lying := append([]byte(nil), whole...)
+	lying[16] = 0xff
+	f.Add(lying)
+	f.Add([]byte{})
+	f.Add([]byte{frameMagic})
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		fr, err := UnmarshalFrame(wire)
+		if err != nil {
+			return
+		}
+		again := MarshalFrame(fr)
+		if !bytes.Equal(again, wire) {
+			t.Fatalf("accepted frame is not canonical:\n in %x\nout %x", wire, again)
+		}
+		fr2, err := UnmarshalFrame(again)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("frame round trip changed:\n%+v\nvs\n%+v", fr, fr2)
+		}
+	})
+}
+
+// TestFrameRoundTrip pins the typed round trip deterministically.
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{CN: 0, PID: 0, Tag: 0},
+		{CN: 12, PID: 34, Tag: 56, Payload: []byte("payload")},
+		{CN: -1, PID: 1 << 31, Tag: 7, Payload: make([]byte, BlockSize)},
+	}
+	for _, fr := range frames {
+		got, err := UnmarshalFrame(MarshalFrame(fr))
+		if err != nil {
+			t.Fatalf("%+v: %v", fr, err)
+		}
+		if got.CN != fr.CN || got.PID != fr.PID || got.Tag != fr.Tag ||
+			!bytes.Equal(got.Payload, fr.Payload) {
+			t.Fatalf("round trip changed: %+v vs %+v", fr, got)
+		}
+	}
+}
+
+// TestFrameRejects pins the strictness properties the demux relies on.
+func TestFrameRejects(t *testing.T) {
+	whole := MarshalFrame(&Frame{CN: 1, PID: 2, Tag: 3, Payload: []byte("abc")})
+	cases := [][]byte{
+		nil,
+		whole[:frameHeader-1],
+		whole[:len(whole)-1],                     // short payload
+		append(append([]byte(nil), whole...), 0), // trailing garbage
+	}
+	bad := append([]byte(nil), whole...)
+	bad[0] ^= 0xff
+	cases = append(cases, bad)
+	for i, wire := range cases {
+		if _, err := UnmarshalFrame(wire); err == nil {
+			t.Errorf("case %d: corrupt frame accepted", i)
+		}
+	}
+}

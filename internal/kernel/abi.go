@@ -50,6 +50,8 @@ const (
 
 	SysPersistOpen // CNK extension: named persistent memory (Section IV-D)
 
+	SysFsync // flush a file's dirty buffer-cache blocks to stable storage
+
 	NumSys
 )
 
@@ -59,7 +61,7 @@ var sysNames = [...]string{
 	"readdir", "brk", "mmap", "munmap", "mprotect", "shmget", "clone",
 	"futex", "set_tid_address", "sigaction", "sigreturn", "yield", "exit",
 	"getpid", "gettid", "uname", "gettimeofday", "fork", "exec",
-	"persist_open",
+	"persist_open", "fsync",
 }
 
 func (s Sys) String() string {
@@ -75,7 +77,7 @@ func (s Sys) IsFileIO() bool {
 	switch s {
 	case SysRead, SysWrite, SysOpen, SysClose, SysLseek, SysStat, SysFstat,
 		SysUnlink, SysRename, SysMkdir, SysRmdir, SysDup, SysGetcwd,
-		SysChdir, SysTruncate, SysReaddir:
+		SysChdir, SysTruncate, SysReaddir, SysFsync:
 		return true
 	}
 	return false

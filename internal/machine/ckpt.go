@@ -104,6 +104,13 @@ func (m *Machine) SealCheckpoint() *ckpt.Image {
 	if !m.ck.armed {
 		return nil
 	}
+	// Barrier quiesce is a flush trigger: with the ION cache armed, every
+	// dirty block the job wrote before the capture barrier must reach the
+	// backing fs before the image seals, or a post-checkpoint ION crash
+	// would roll file contents behind the image's file-table mirror.
+	for _, n := range m.IONs {
+		n.Cache().FlushAll(nil)
+	}
 	img := &ckpt.Image{
 		JobID: int32(m.ck.jobID),
 		Epoch: m.ck.epoch,

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"bgcnk/internal/hw"
+	"bgcnk/internal/ion"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
@@ -183,12 +184,13 @@ type matrixOutcome struct {
 	codes    string
 }
 
-func faultMatrixRun(t *testing.T, kind KernelKind, plan ras.Plan) matrixOutcome {
+func faultMatrixRun(t *testing.T, kind KernelKind, plan ras.Plan, icfg *ion.Config) matrixOutcome {
 	t.Helper()
 	m, err := New(Config{
 		Nodes: 2, Kind: kind, Seed: 11,
 		Reproducible: kind == KindCNK,
 		Faults:       &plan,
+		ION:          icfg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -218,20 +220,26 @@ func TestFaultMatrix(t *testing.T) {
 	classes := []struct {
 		name string
 		plan ras.Plan
+		ion  *ion.Config
 	}{
-		{"correctable_ecc", ras.Plan{Seed: seed, DDRCorrectable: 1e-3}},
-		{"uncorrectable_ecc", ras.Plan{Seed: seed, DDRUncorrectable: 5e-4}},
-		{"tlb_parity", ras.Plan{Seed: seed, TLBParity: 1e-4}},
-		{"link_crc", ras.Plan{Seed: seed, LinkCRC: 1e-2}},
-		{"ciod_drop", ras.Plan{Seed: seed, CIODDrop: 0.3}},
-		{"ciod_crash", ras.Plan{Seed: seed, CIODCrashEvery: 10}},
+		{"correctable_ecc", ras.Plan{Seed: seed, DDRCorrectable: 1e-3}, nil},
+		{"uncorrectable_ecc", ras.Plan{Seed: seed, DDRUncorrectable: 5e-4}, nil},
+		{"tlb_parity", ras.Plan{Seed: seed, TLBParity: 1e-4}, nil},
+		{"link_crc", ras.Plan{Seed: seed, LinkCRC: 1e-2}, nil},
+		{"ciod_drop", ras.Plan{Seed: seed, CIODDrop: 0.3}, nil},
+		{"ciod_crash", ras.Plan{Seed: seed, CIODCrashEvery: 10}, nil},
+		// ion_crash reuses the daemon-crash machinery with the aggregation
+		// subsystem armed: the counter cadence kills CIOD *and* drops the
+		// buffer cache, and the whole sequence must replay cycle-exactly.
+		{"ion_crash", ras.Plan{Seed: seed, IONCrashEvery: 6, CIODRestartDelay: 50_000},
+			&ion.Config{QueueDepth: 4}},
 	}
 	for _, kind := range []KernelKind{KindCNK, KindFWK} {
 		for _, cl := range classes {
 			kind, cl := kind, cl
 			t.Run(fmt.Sprintf("%v/%s", kind, cl.name), func(t *testing.T) {
-				a := faultMatrixRun(t, kind, cl.plan)
-				b := faultMatrixRun(t, kind, cl.plan)
+				a := faultMatrixRun(t, kind, cl.plan, cl.ion)
+				b := faultMatrixRun(t, kind, cl.plan, cl.ion)
 				if a.hash != b.hash {
 					t.Errorf("trace hash differs: %x vs %x", a.hash, b.hash)
 				}

@@ -16,6 +16,7 @@ import (
 	"bgcnk/internal/fs"
 	"bgcnk/internal/fwk"
 	"bgcnk/internal/hw"
+	"bgcnk/internal/ion"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
@@ -58,6 +59,13 @@ type Config struct {
 	// CNsPerION sets the I/O ratio (default: all CNs share one ION).
 	CNsPerION int
 
+	// ION, when non-nil, arms the I/O-node aggregation subsystem on every
+	// I/O node: the shared collective-tree uplink, the bounded ingress
+	// queue with credit backpressure, request coalescing in the daemon,
+	// and the write-back buffer cache. Nil keeps the legacy cycle-exact
+	// unaggregated I/O path.
+	ION *ion.Config
+
 	// Sched selects the engine's event scheduler (default: the timer
 	// wheel). The heap reference stays selectable so the differential
 	// harness can replay full machine runs on both implementations and
@@ -84,6 +92,10 @@ type Machine struct {
 	Trees   []*collective.Tree
 	IONFS   []*fs.FS
 	Servers []*ciod.Server
+
+	// IONs holds one aggregation node per tree when Cfg.ION is armed
+	// (empty otherwise).
+	IONs []*ion.Node
 
 	CNKs []*cnk.Kernel
 	FWKs []*fwk.Kernel
@@ -165,6 +177,16 @@ func New(cfg Config) (*Machine, error) {
 			tree.ION().AttachFaults(ionF)
 			srv.SetFaults(ionF, cfg.Faults.RestartDelay())
 		}
+		if cfg.ION != nil {
+			// Aggregation armed: this tree's CN→ION traffic serializes on
+			// the one shared uplink, and the daemon serves through the
+			// ingress credit gate and buffer cache.
+			tree.ShareUplink()
+			icfg := cfg.ION.WithDefaults()
+			node := ion.NewNode(icfg, ion.NewCache(ionFS, icfg.CacheBlocks))
+			srv.AttachION(node)
+			m.IONs = append(m.IONs, node)
+		}
 		m.Servers = append(m.Servers, srv)
 	}
 
@@ -175,6 +197,9 @@ func New(cfg Config) (*Machine, error) {
 		case KindCNK:
 			io := ciod.NewClient(m.Trees[treeIdx].CN(n))
 			io.AttachUPC(chip.UPC)
+			if cfg.ION != nil {
+				io.AttachION(m.IONs[treeIdx])
+			}
 			if m.inj != nil {
 				// With a fallible I/O path the blocking protocol would
 				// hang forever on one lost reply; arm timeouts and
@@ -193,13 +218,20 @@ func New(cfg Config) (*Machine, error) {
 			}
 			m.CNKs = append(m.CNKs, k)
 		case KindFWK:
-			k := fwk.New(m.Eng, chip, fwk.Config{
+			fcfg := fwk.Config{
 				Seed:      cfg.Seed + uint64(n)*7919,
 				Stripped:  cfg.Stripped,
 				Daemons:   cfg.Daemons,
 				FS:        m.IONFS[treeIdx], // NFS-mounted shared fs
 				FSLatency: cfg.FSLatency,
-			})
+			}
+			if cfg.ION != nil {
+				// NFS data operations contend for the same shared uplink the
+				// CNK machines ship every call over; metadata stays in the
+				// client's attribute cache (the CNK-vs-FWK asymmetry).
+				fcfg.Uplink = m.Trees[treeIdx].UplinkTransfer
+			}
+			k := fwk.New(m.Eng, chip, fcfg)
 			if err := k.Boot(); err != nil {
 				return nil, fmt.Errorf("machine: node %d: %v", n, err)
 			}
@@ -229,6 +261,16 @@ func (m *Machine) CounterSnapshots() []upc.Snapshot {
 // MergedCounters returns the machine-wide counter sum.
 func (m *Machine) MergedCounters() upc.Snapshot {
 	return upc.Merge(m.CounterSnapshots()...)
+}
+
+// IONStats returns each I/O node's aggregation summary, indexed by tree;
+// empty when the ION subsystem is not armed.
+func (m *Machine) IONStats() []ion.Stats {
+	out := make([]ion.Stats, 0, len(m.IONs))
+	for _, n := range m.IONs {
+		out = append(out, n.Stats())
+	}
+	return out
 }
 
 // EnableTracepoints turns on the given tracepoint categories on every
@@ -357,6 +399,12 @@ func (m *Machine) ClearJobs() {
 			tree.CN(n).Drain()
 		}
 	}
+	// DropProxies abandons in-flight calls without releasing their ingress
+	// credits (the owning coroutines are dead); Reset restores the full
+	// credit pool and drops the previous job's cache residue.
+	for _, n := range m.IONs {
+		n.Reset()
+	}
 }
 
 // Reboot tears the partition down and brings it back up, as the control
@@ -381,6 +429,10 @@ func (m *Machine) Reboot() error {
 		ionFS.MustMkdirAll("/lib")
 		m.IONFS[i] = ionFS
 		m.Servers[i].Reset(ionFS)
+		if i < len(m.IONs) {
+			m.IONs[i].Cache().SetFS(ionFS)
+			m.IONs[i].Reset()
+		}
 	}
 	for _, ch := range m.Chips {
 		ch.Reset()

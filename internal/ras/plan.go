@@ -30,6 +30,15 @@ type Plan struct {
 	CIODCrashEvery   uint64
 	CIODRestartDelay sim.Cycles
 
+	// IONCrashEvery kills the whole I/O node after every N served calls
+	// (0 = never): the daemon dies exactly as under CIODCrashEvery — every
+	// attached CN's in-flight calls are EIO-flushed by the same machinery —
+	// and additionally the ION's write-back buffer cache loses its dirty
+	// blocks. A deterministic counter rather than a probability: it must
+	// not consume RNG draws, so arming it cannot perturb the DDR/TLB/link
+	// fault schedules shared with ION-off runs.
+	IONCrashEvery uint64
+
 	// FWKPanicEvery makes the FWK treat every Nth uncorrectable DDR error
 	// it observes as fatal (0 = never, the default: the FWK's scrub
 	// absorbs them all). The real full-weight kernel cannot always paper
@@ -45,7 +54,8 @@ type Plan struct {
 // Enabled reports whether the plan injects anything.
 func (p *Plan) Enabled() bool {
 	return p != nil && (p.DDRCorrectable > 0 || p.DDRUncorrectable > 0 ||
-		p.TLBParity > 0 || p.LinkCRC > 0 || p.CIODDrop > 0 || p.CIODCrashEvery > 0)
+		p.TLBParity > 0 || p.LinkCRC > 0 || p.CIODDrop > 0 || p.CIODCrashEvery > 0 ||
+		p.IONCrashEvery > 0)
 }
 
 // RestartDelay returns the CIOD respawn time, defaulted.
@@ -141,6 +151,7 @@ type NodeFaults struct {
 
 	ddr, tlb, link, ciod *sim.RNG
 	served               uint64
+	ionServed            uint64
 	uncorrSeen           uint64
 }
 
@@ -150,6 +161,7 @@ func (f *NodeFaults) rewind() {
 	f.link = f.in.stream(f.node, siteLink)
 	f.ciod = f.in.stream(f.node, siteCIOD)
 	f.served = 0
+	f.ionServed = 0
 	f.uncorrSeen = 0
 }
 
@@ -236,6 +248,24 @@ func (f *NodeFaults) CrashDue() bool {
 	if f.served >= every {
 		f.served = 0
 		f.report(CIODCrash, "ciod", "daemon crashed, ioproxy state lost")
+		return true
+	}
+	return false
+}
+
+// IONCrashDue counts one served call against the IONCrashEvery cadence
+// and reports whether the whole I/O node dies after it. Like FWKPanicDue
+// it is purely a counter — no RNG draw — so arming ION crashes leaves
+// every probabilistic fault stream byte-identical.
+func (f *NodeFaults) IONCrashDue() bool {
+	every := f.in.plan.IONCrashEvery
+	if every == 0 {
+		return false
+	}
+	f.ionServed++
+	if f.ionServed >= every {
+		f.ionServed = 0
+		f.report(IONCrash, "ion", "I/O node died, buffer cache and ioproxy state lost")
 		return true
 	}
 	return false

@@ -42,6 +42,7 @@ const (
 	Recovery        // kernel absorbed/recovered the fault in place
 	ServiceCrash    // service node died at an injected crash point
 	ServiceRecovery // service node replayed its journal and reconciled
+	IONCrash        // I/O node died: every attached CN's in-flight calls EIO-flushed
 
 	NumClasses
 )
@@ -49,7 +50,7 @@ const (
 var classNames = [NumClasses]string{
 	"correctable_ecc", "uncorrectable_ecc", "tlb_parity", "link_crc",
 	"ciod_drop", "ciod_crash", "ciod_give_up", "job_kill", "recovery",
-	"service_crash", "service_recovery",
+	"service_crash", "service_recovery", "ion_crash",
 }
 
 func (c Class) String() string {

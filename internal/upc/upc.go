@@ -86,6 +86,17 @@ const (
 	CIODRetry        // chip: function-ship resends after timeout
 	RASCorrectable   // chip: DDR ECC single-bit corrections
 	RASUncorrectable // chip: DDR ECC uncorrectable errors
+	// I/O-node aggregation (chip-scoped; zero unless the ION subsystem is
+	// armed). The stall counters live on the compute node's set — the CN is
+	// where the backpressure is felt — and the rest on the ION's own set.
+	IONStall       // chip: CN-side stalls waiting for an ION ingress credit
+	IONStallCycles // chip: CN-side cycles spent stalled on ION backpressure
+	IONAdmit       // chip: requests admitted to the ION ingress queue
+	IONCoalesce    // chip: writes merged by the ION request coalescer
+	IONCacheHit    // chip: buffer-cache block hits
+	IONCacheMiss   // chip: buffer-cache block misses (filled from fs)
+	IONWriteback   // chip: dirty blocks written back to fs
+	IONFlush       // chip: explicit cache flushes (fsync/close/quiesce)
 
 	NumCounters
 )
@@ -104,6 +115,8 @@ var counterNames = [NumCounters]string{
 	"coll_packet", "coll_bytes", "combine_op",
 	"link_crc", "link_retransmit", "ciod_timeout", "ciod_retry",
 	"ras_correctable", "ras_uncorrectable",
+	"ion_stall", "ion_stall_cycles", "ion_admit", "ion_coalesce",
+	"ion_cache_hit", "ion_cache_miss", "ion_writeback", "ion_flush",
 }
 
 func (c Counter) String() string {

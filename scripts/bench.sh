@@ -6,8 +6,11 @@
 # bit-identity check) and BENCH_resilience.json (per-kernel checkpoint
 # latency, restart overhead, the completion-rate sweep over fault rates
 # with checkpointing on/off, and recovery latency vs journal size for
-# crashed-and-recovered service nodes). Called from scripts/ci.sh as a
-# non-gating smoke; run it by hand with full sizes:
+# crashed-and-recovered service nodes) and BENCH_ion.json (the I/O-node
+# aggregation sweep: bandwidth, stall cycles, coalescing and cache hit
+# rate vs CN:ION fan-in, every cell rerun and checked bit-identical).
+# Called from scripts/ci.sh as a non-gating smoke; run it by hand with
+# full sizes:
 #
 #   ./scripts/bench.sh          # quick (CI) sizes
 #   BENCH_FULL=1 ./scripts/bench.sh
@@ -38,4 +41,11 @@ if [ "${BENCH_FULL:-0}" = "1" ]; then
 	go run ./cmd/resbench -out BENCH_resilience.json
 else
 	go run ./cmd/resbench -quick -out BENCH_resilience.json
+fi
+
+echo "== ionbench -> BENCH_ion.json"
+if [ "${BENCH_FULL:-0}" = "1" ]; then
+	go run ./cmd/ionbench -out BENCH_ion.json
+else
+	go run ./cmd/ionbench -quick -out BENCH_ion.json
 fi

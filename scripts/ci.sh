@@ -20,7 +20,7 @@ echo "== go test -race"
 go test -race ./...
 
 echo "== fuzz seed-corpus regressions"
-go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/ ./internal/ctrlsys/ ./internal/ctrlsys/wal/ ./internal/ckpt/
+go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/ ./internal/ion/ ./internal/ctrlsys/ ./internal/ctrlsys/wal/ ./internal/ckpt/
 
 # The fault matrix is part of the -race suite above, but gate on it
 # explicitly: per-class fault determinism and the recovery-under-fault
@@ -56,6 +56,20 @@ go test -race -run 'TestCrashMatrixDeterminism|TestDoubleCrashDuringRecovery|Tes
 go test -run 'TestRecoveredMachineMatchesFresh' ./internal/machine/
 go test -run 'TestGolden/crashes' ./internal/experiments/
 
+# I/O-node aggregation contracts: with the subsystem armed, the whole
+# machine (shared uplink, ingress credits, coalescer, write-back cache)
+# must be cycle-reproducible and survive reboot identically; the
+# checkpointed drain through the ION cache must restart bit-identically
+# at 1/2/8 workers (under -race); an unarmed machine must be cycle-exact
+# with the pre-ION model; the ion_crash fault class must replay
+# cycle-exactly; and the ioscale sweep must match its golden
+# byte-for-byte.
+echo "== I/O-node aggregation: determinism + ion_crash + ioscale golden"
+go test -race -run 'TestIONMachineDeterminism|TestIONRebootMatchesFresh|TestIONOffChangesNothing|TestSealCheckpointFlushesIONCache' ./internal/machine/
+go test -race -run 'TestRestartDeterminismThroughIONCache' ./internal/ctrlsys/
+go test -run 'TestFaultMatrix/.*/ion_crash' ./internal/machine/
+go test -run 'TestGolden/ioscale' ./internal/experiments/
+
 # Sim fast-path contracts, gated explicitly: the timer-wheel scheduler
 # must replay seeded event workloads AND full machine fault-replay runs
 # bit-identically to the reference heap (trace hashes, exit codes, UPC
@@ -74,6 +88,7 @@ if [ "$FUZZTIME" != "0" ]; then
 	echo "== live fuzzing ($FUZZTIME per target)"
 	go test -fuzz=FuzzFS -fuzztime="$FUZZTIME" ./internal/fs/
 	go test -fuzz=FuzzMarshal -fuzztime="$FUZZTIME" ./internal/ciod/
+	go test -fuzz=FuzzIONMux -fuzztime="$FUZZTIME" ./internal/ion/
 	go test -fuzz=FuzzPersonality -fuzztime="$FUZZTIME" ./internal/ctrlsys/
 	go test -fuzz=FuzzCheckpointImage -fuzztime="$FUZZTIME" ./internal/ckpt/
 	go test -fuzz=FuzzJournal -fuzztime="$FUZZTIME" ./internal/ctrlsys/wal/
