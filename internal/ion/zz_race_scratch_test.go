@@ -1,0 +1,42 @@
+package ion
+
+import (
+	"bytes"
+	"testing"
+
+	"bgcnk/internal/fs"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/sim"
+)
+
+// Scratch test (review only): two coroutines sharing the cache — A flushes
+// an inode with two non-adjacent dirty blocks while B's fills force the
+// eviction of A's second dirty block during A's first writeback sleep.
+func TestScratchFlushEvictRace(t *testing.T) {
+	fsys := fs.New()
+	fsys.MustMkdirAll("/gpfs")
+	if errno := fsys.WriteFile("/gpfs/a", nil, 0644, fs.Root); errno != kernel.OK {
+		t.Fatal(errno)
+	}
+	big := bytes.Repeat([]byte("x"), 8*BlockSize)
+	if errno := fsys.WriteFile("/gpfs/b", big, 0644, fs.Root); errno != kernel.OK {
+		t.Fatal(errno)
+	}
+	stA, _ := fsys.Stat("/", "/gpfs/a", fs.Root)
+	stB, _ := fsys.Stat("/", "/gpfs/b", fs.Root)
+
+	ca := NewCache(fsys, 4)
+	eng := sim.NewEngine()
+	eng.Go("A", func(c *sim.Coro) {
+		ca.Write(c, stA.Ino, 0, []byte("one"))            // block 0 dirty
+		ca.Write(c, stA.Ino, 2*BlockSize, []byte("three")) // block 2 dirty
+		ca.Flush(c, stA.Ino) // two runs; sleeps between them
+	})
+	eng.Go("B", func(c *sim.Coro) {
+		c.Sleep(1) // let A reach its first writeback sleep
+		for i := 0; i < 6; i++ {
+			ca.Read(c, stB.Ino, uint64(i)*BlockSize, 1) // fills force evictions
+		}
+	})
+	eng.RunUntilIdle()
+}
