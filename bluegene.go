@@ -28,6 +28,7 @@ import (
 	"bgcnk/internal/machine"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
+	"bgcnk/internal/torus"
 	"bgcnk/internal/upc"
 )
 
@@ -58,6 +59,10 @@ type Cycles = sim.Cycles
 type MachineConfig struct {
 	Nodes  int
 	Kernel KernelKind
+	// Dims, when nonzero, shapes the torus as a full multi-dimensional
+	// torus (e.g. {4, 4, 1}) instead of the default {Nodes,1,1} ring;
+	// Nodes is then derived from the product of the dimensions.
+	Dims TorusCoord
 	// Seed drives the FWK's daemon phases (CNK ignores it: CNK runs are
 	// reproducible under any seed).
 	Seed uint64
@@ -102,6 +107,30 @@ type RASLog = ras.Log
 // DefaultFaultPlan returns a moderate all-classes plan seeded with seed.
 func DefaultFaultPlan(seed uint64) *FaultPlan { return ras.DefaultPlan(seed) }
 
+// ---- Network resilience ----
+//
+// A fault plan with LinkFails/NodeFails schedules hard torus faults:
+// directed links and whole node interfaces die at seeded cycles. By
+// default the network routes around the fault region (detours counted in
+// the UPC) and retransmits in-flight losses end to end; with
+// FaultPlan.NetResilienceOff the routing stays static and losses surface
+// as typed DeliveryErrors. A plan whose deaths would disconnect the
+// surviving partition is refused at NewMachine (boot-time partition
+// wiring validation).
+
+// TorusCoord is a 3-D torus coordinate (MachineConfig.Dims).
+type TorusCoord = torus.Coord
+
+// DeliveryError is the typed end-to-end delivery failure surfaced by
+// network operations on a machine with hard torus faults armed; test
+// with errors.As. Its Unwrap yields ErrUnroutable when no route
+// survives.
+type DeliveryError = torus.DeliveryError
+
+// ErrUnroutable reports that no route survives the current fault set;
+// test with errors.Is.
+var ErrUnroutable = torus.ErrUnroutable
+
 // Machine is a simulated Blue Gene/P system.
 type Machine struct {
 	*machine.Machine
@@ -111,6 +140,7 @@ type Machine struct {
 func NewMachine(cfg MachineConfig) (*Machine, error) {
 	m, err := machine.New(machine.Config{
 		Nodes:             cfg.Nodes,
+		Dims:              cfg.Dims,
 		Kind:              cfg.Kernel,
 		Seed:              cfg.Seed,
 		Reproducible:      cfg.Reproducible,

@@ -37,6 +37,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "FWK daemon-phase seed")
 	counters := flag.String("counters", "", "print UPC counters after the run: text or json")
 	faults := flag.Uint64("faults", 0, "arm the seeded fault injector with this fault seed (0 = perfect machine)")
+	linkFails := flag.Int("linkfails", 0, "hard network faults: directed torus links to kill at seeded cycles")
+	nodeFails := flag.Int("nodefails", 0, "hard network faults: torus node interfaces to kill at seeded cycles")
+	noResilience := flag.Bool("noresilience", false, "disable fault-region routing and end-to-end retransmit (degrade baseline)")
 	rasDump := flag.Bool("ras", false, "print the RAS event log after the run")
 	ions := flag.Int("ions", 0, "CN:ION ratio — compute nodes per I/O node; arms the I/O aggregation subsystem (0 = legacy direct path)")
 	partitions := flag.Int("partitions", 4, "control-system mode: midplanes in the machine")
@@ -61,6 +64,16 @@ func main() {
 	mcfg := bluegene.MachineConfig{Nodes: *nodes, Kernel: kind, Seed: *seed}
 	if *faults != 0 {
 		mcfg.Faults = bluegene.DefaultFaultPlan(*faults)
+	}
+	if *linkFails > 0 || *nodeFails > 0 {
+		if mcfg.Faults == nil {
+			// Hard network faults only: a plan with zero soft-error rates,
+			// seeded so the death schedule is reproducible.
+			mcfg.Faults = &bluegene.FaultPlan{Seed: *seed}
+		}
+		mcfg.Faults.LinkFails = *linkFails
+		mcfg.Faults.NodeFails = *nodeFails
+		mcfg.Faults.NetResilienceOff = *noResilience
 	}
 	if *ions > 0 {
 		mcfg.CNsPerION = *ions

@@ -6,16 +6,27 @@
 package barrier
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"bgcnk/internal/sim"
 )
+
+// ErrDeadParticipant is returned by EnterErr when a participant's torus
+// interface has died: a wired-AND with a permanently-low input can never
+// fire, so waiting is hopeless and the caller must fail the job instead
+// of parking forever.
+var ErrDeadParticipant = errors.New("barrier: participant dead, barrier can never complete")
 
 // Network is one global barrier channel over n participants.
 type Network struct {
 	eng     *sim.Engine
 	n       int
 	latency sim.Cycles
+
+	dead   map[int]bool
+	failed map[*sim.Coro]bool
 
 	entered map[int]*sim.Coro
 	// ArbiterState models the hardware arbiter/state-machine content that
@@ -40,7 +51,33 @@ func New(eng *sim.Engine, n int, latency sim.Cycles) *Network {
 	if latency == 0 {
 		latency = DefaultLatency
 	}
-	return &Network{eng: eng, n: n, latency: latency, entered: make(map[int]*sim.Coro)}
+	return &Network{eng: eng, n: n, latency: latency, entered: make(map[int]*sim.Coro),
+		dead: make(map[int]bool), failed: make(map[*sim.Coro]bool)}
+}
+
+// MarkDead declares participant id permanently gone (node failure).
+// Everyone currently blocked in the barrier is released immediately with
+// ErrDeadParticipant — woken in participant order so same-cycle wakeups
+// stay reproducible — and every future EnterErr fails fast. Idempotent.
+func (b *Network) MarkDead(id int) {
+	if b.dead[id] {
+		return
+	}
+	b.dead[id] = true
+	if len(b.entered) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(b.entered))
+	for wid := range b.entered {
+		ids = append(ids, wid)
+	}
+	sort.Ints(ids)
+	for _, wid := range ids {
+		w := b.entered[wid]
+		b.failed[w] = true
+		w.Wake()
+	}
+	b.entered = make(map[int]*sim.Coro)
 }
 
 // Participants returns the configured participant count.
@@ -49,12 +86,24 @@ func (b *Network) Participants() int { return b.n }
 // Enter blocks participant id until all n participants have entered, then
 // releases everyone latency cycles after the last arrival. Entering twice
 // concurrently with the same id panics (a wired-AND cannot distinguish).
+// If a participant has died the entry returns immediately (legacy void
+// entry point; callers that must distinguish use EnterErr).
 func (b *Network) Enter(c *sim.Coro, id int) {
+	_ = b.EnterErr(c, id)
+}
+
+// EnterErr is Enter with node-failure semantics: it returns
+// ErrDeadParticipant — instead of parking forever — when any participant
+// is already dead, or dies while this one waits.
+func (b *Network) EnterErr(c *sim.Coro, id int) error {
 	if id < 0 || id >= b.n {
 		panic(fmt.Sprintf("barrier: participant %d of %d", id, b.n))
 	}
 	if _, dup := b.entered[id]; dup {
 		panic(fmt.Sprintf("barrier: participant %d entered twice", id))
+	}
+	if len(b.dead) > 0 {
+		return ErrDeadParticipant
 	}
 	b.entered[id] = c
 	if len(b.entered) == b.n {
@@ -75,9 +124,14 @@ func (b *Network) Enter(c *sim.Coro, id int) {
 		})
 		// The last arriver also waits out the wire latency.
 		c.Sleep(b.latency)
-		return
+		return nil
 	}
 	c.Park(sim.Forever)
+	if b.failed[c] {
+		delete(b.failed, c)
+		return ErrDeadParticipant
+	}
+	return nil
 }
 
 // ArbiterState exposes the hardware state machines' content.

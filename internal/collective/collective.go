@@ -6,6 +6,7 @@
 package collective
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -13,6 +14,12 @@ import (
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
 )
+
+// ErrDeadParticipant is returned by Combine.AllreduceErr when a
+// participant's node has died: the tree can never finish summing with a
+// contribution permanently missing, so the caller must fail the job
+// instead of parking forever.
+var ErrDeadParticipant = errors.New("collective: participant dead, combine can never complete")
 
 // PacketBytes is the collective network packet payload size.
 const PacketBytes = 256
@@ -321,6 +328,8 @@ type Combine struct {
 	entered map[int]*sim.Coro
 	sum     float64
 	results map[int]float64
+	dead    map[int]bool
+	failed  map[int]bool
 
 	// upcs routes per-participant combine counts to each node's UPC unit.
 	upcs map[int]*upc.UPC
@@ -344,14 +353,53 @@ func NewCombine(eng *sim.Engine, n int, latency sim.Cycles) *Combine {
 		latency = sim.FromMicros(2.5)
 	}
 	return &Combine{eng: eng, n: n, latency: latency,
-		entered: make(map[int]*sim.Coro), results: make(map[int]float64)}
+		entered: make(map[int]*sim.Coro), results: make(map[int]float64),
+		dead: make(map[int]bool), failed: make(map[int]bool)}
+}
+
+// MarkDead declares participant id permanently gone (node failure):
+// everyone currently blocked in the combine is released immediately with
+// ErrDeadParticipant — woken in participant order for reproducibility —
+// and every future AllreduceErr fails fast. Idempotent.
+func (cb *Combine) MarkDead(id int) {
+	if cb.dead[id] {
+		return
+	}
+	cb.dead[id] = true
+	if len(cb.entered) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(cb.entered))
+	for wid := range cb.entered {
+		ids = append(ids, wid)
+	}
+	sort.Ints(ids)
+	for _, wid := range ids {
+		cb.failed[wid] = true
+		cb.entered[wid].Wake()
+	}
+	cb.entered = make(map[int]*sim.Coro)
+	cb.sum = 0
 }
 
 // Allreduce contributes v for participant id and blocks until the global
-// sum returns down the tree.
+// sum returns down the tree. On a dead combine (a participant's node has
+// failed) it returns 0 immediately; callers that must distinguish use
+// AllreduceErr.
 func (cb *Combine) Allreduce(c *sim.Coro, id int, v float64) float64 {
+	r, _ := cb.AllreduceErr(c, id, v)
+	return r
+}
+
+// AllreduceErr is Allreduce with node-failure semantics: it returns
+// ErrDeadParticipant — instead of parking forever — when any participant
+// is already dead, or dies while this one waits.
+func (cb *Combine) AllreduceErr(c *sim.Coro, id int, v float64) (float64, error) {
 	if _, dup := cb.entered[id]; dup {
 		panic(fmt.Sprintf("collective: participant %d re-entered combine", id))
+	}
+	if len(cb.dead) > 0 {
+		return 0, ErrDeadParticipant
 	}
 	cb.entered[id] = c
 	cb.sum += v
@@ -385,10 +433,14 @@ func (cb *Combine) Allreduce(c *sim.Coro, id int, v float64) float64 {
 		c.Sleep(cb.latency)
 		r := cb.results[id]
 		delete(cb.results, id)
-		return r
+		return r, nil
 	}
 	c.Park(sim.Forever)
+	if cb.failed[id] {
+		delete(cb.failed, id)
+		return 0, ErrDeadParticipant
+	}
 	r := cb.results[id]
 	delete(cb.results, id)
-	return r
+	return r, nil
 }

@@ -1,0 +1,100 @@
+package ctrlsys
+
+import (
+	"errors"
+	"testing"
+
+	"bgcnk/internal/machine"
+	"bgcnk/internal/ras"
+)
+
+// The hard-network-fault arm of the resilience battery: link and node
+// deaths drawn by the partition's seeded plan must flow through the same
+// control-system machinery as uncorrectable memory faults — localization
+// to the owning midplane, blacklist strikes, checkpointed restart on a
+// fresh partition, and the typed budget error when no restart can help.
+
+// TestLinkFaultLocalizedAndSurvived: a single dead directed link is
+// detoured by the fault-region routing, so jobs complete — but the
+// link_fail RAS event still strikes the owning midplane in the attempt
+// record, feeding the blacklist/reschedule path.
+func TestLinkFaultLocalizedAndSurvived(t *testing.T) {
+	plan := &ras.Plan{Seed: 0xba5e, LinkFails: 1, NetFailWindow: 200_000}
+	res := drainResilient(t, machine.KindCNK, plan, 2)
+	completed, localized := 0, 0
+	for _, r := range res.Results {
+		if !r.Failed() {
+			completed++
+		}
+		for _, a := range r.Attempts {
+			if a.FaultMidplane >= 0 {
+				localized++
+			}
+		}
+	}
+	if completed != len(res.Results) {
+		t.Errorf("%d/%d jobs completed; a single dead link should be routed around",
+			completed, len(res.Results))
+	}
+	if localized == 0 {
+		t.Error("no attempt localized the link fault to a midplane")
+	}
+}
+
+// TestNodeFaultExhaustsBudgetTyped: a node death replays identically on
+// every restart (same partition seed, same schedule), so no checkpoint
+// can carry the job past it — the budget exhausts with the typed error,
+// every kill is localized, the struck midplanes are drained, and the
+// whole drain is bit-identical on a rerun.
+func TestNodeFaultExhaustsBudgetTyped(t *testing.T) {
+	// Four midplanes with single-midplane jobs keep the drain cap
+	// permissive (as in TestScheduleResilientBlacklist): blacklisting a
+	// struck midplane never makes the queue unschedulable.
+	topo := Topology{Racks: 1, MidplanesPerRack: 4, NodesPerMidplane: 2}
+	jobs := []Job{
+		{ID: 0, Name: "job000", Midplanes: 1, Work: 20_000, Exchanges: 8, IOBytes: 512},
+		{ID: 1, Name: "job001", Midplanes: 1, Work: 30_000, Exchanges: 6, IOBytes: 256},
+		{ID: 2, Name: "job002", Midplanes: 1, Work: 25_000, Exchanges: 8, IOBytes: 512},
+		{ID: 3, Name: "job003", Midplanes: 1, Work: 15_000, Exchanges: 7, IOBytes: 0},
+	}
+	plan := &ras.Plan{Seed: 0xba5e, NodeFails: 1, NetFailWindow: 200_000}
+	run := func() *DrainResult {
+		s := New(Config{
+			Topology: topo, Kind: machine.KindCNK, Seed: 42, Workers: 2,
+			Faults: plan,
+			Ckpt:   CkptConfig{Enabled: true, Interval: 1},
+		})
+		res, err := s.Drain(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	if len(a.Errs) == 0 {
+		t.Fatal("no drain errors despite a node death in every partition")
+	}
+	for _, err := range a.Errs {
+		if !errors.Is(err, ErrRestartBudgetExhausted) {
+			t.Errorf("drain error %v does not wrap ErrRestartBudgetExhausted", err)
+		}
+	}
+	for _, r := range a.Results {
+		if !r.BudgetExhausted {
+			t.Errorf("job %d did not exhaust its budget under an unavoidable node death", r.Job.ID)
+			continue
+		}
+		for i, at := range r.Attempts {
+			if at.FaultMidplane < 0 {
+				t.Errorf("job %d attempt %d: node death not localized to a midplane", r.Job.ID, i)
+			}
+		}
+	}
+	if len(a.Sched.Drained) == 0 {
+		t.Error("no midplane drained despite repeated node-death strikes")
+	}
+	b := run()
+	if a.Signature() != b.Signature() {
+		t.Errorf("rerun drain signature %016x != %016x", b.Signature(), a.Signature())
+	}
+}

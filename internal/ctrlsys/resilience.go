@@ -191,7 +191,13 @@ func (s *ServiceNode) runJobResilientFrom(job Job, rp *resumePoint, commit func(
 			res.RASEvents += m.RAS.CountSince(mark)
 			rasHash = rasHash*1099511628211 ^ m.RAS.HashSince(mark, boot)
 			for _, ev := range m.RAS.Events()[mark:] {
-				if ev.Class == ras.JobKill && ev.Node >= 0 {
+				// Hard network faults localize like job kills: a dead link
+				// or interface strikes the midplane owning the node, feeding
+				// the same blacklist/reschedule path (a failed
+				// partition-interior wire takes the midplane out of service).
+				killing := ev.Class == ras.JobKill ||
+					ev.Class == ras.LinkFail || ev.Class == ras.NodeFail
+				if killing && ev.Node >= 0 {
 					a.FaultMidplane = ev.Node / s.topo.NodesPerMidplane
 					break
 				}

@@ -46,10 +46,12 @@ func (a *ARMCI) PutBlocking(ctx kernel.Context, remote MemRegion, remoteOff uint
 	binary.BigEndian.PutUint32(b[4:], uint32(a.Dev.Rank))
 	a.Dev.Ifc.SendPacket(a.Dev.CoordOf(remote.Rank), armciAckTag, kAck, b)
 	c := coro(ctx)
-	a.Dev.Ifc.RecvMatch(c, func(p torus.Packet) bool {
+	if _, rerr := a.Dev.Ifc.RecvMatchErr(c, func(p torus.Packet) bool {
 		return p.Kind == kAck && p.Tag == armciAckTag+1 &&
 			binary.BigEndian.Uint32(p.Payload[0:]) == id
-	})
+	}); rerr != nil {
+		return kernel.EIO
+	}
 	ctx.Compute(120)
 	a.Puts++
 	return kernel.OK
@@ -73,9 +75,12 @@ func (a *ARMCI) GetBlocking(ctx kernel.Context, remote MemRegion, remoteOff uint
 func (a *ARMCI) ServeAcks(ctx kernel.Context, stop func() bool) {
 	c := coro(ctx)
 	for !stop() {
-		p := a.Dev.Ifc.RecvMatch(c, func(p torus.Packet) bool {
+		p, rerr := a.Dev.Ifc.RecvMatchErr(c, func(p torus.Packet) bool {
 			return p.Kind == kAck && p.Tag == armciAckTag
 		})
+		if rerr != nil {
+			return
+		}
 		ctx.Compute(100)
 		from := int(binary.BigEndian.Uint32(p.Payload[4:]))
 		reply := make([]byte, 4)

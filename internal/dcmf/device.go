@@ -131,12 +131,17 @@ func (d *Device) Put(ctx kernel.Context, remote MemRegion, remoteOff uint64, loc
 	dst := subRanges(remote.Ranges, remoteOff, size)
 	c := coro(ctx)
 	done := false
-	d.Ifc.Put(d.CoordOf(remote.Rank), src, dst, func() {
+	var derr error
+	d.Ifc.Put(d.CoordOf(remote.Rank), src, dst, func(err error) {
 		done = true
+		derr = err
 		c.Wake()
 	})
 	for !done {
 		c.Park(sim.Forever)
+	}
+	if derr != nil {
+		return kernel.EIO
 	}
 	d.PutBytes += size
 	return kernel.OK
@@ -157,12 +162,17 @@ func (d *Device) Get(ctx kernel.Context, remote MemRegion, remoteOff uint64, loc
 	src := subRanges(remote.Ranges, remoteOff, size)
 	c := coro(ctx)
 	done := false
-	d.Ifc.Get(d.CoordOf(remote.Rank), src, dst, func() {
+	var derr error
+	d.Ifc.Get(d.CoordOf(remote.Rank), src, dst, func(err error) {
 		done = true
+		derr = err
 		c.Wake()
 	})
 	for !done {
 		c.Park(sim.Forever)
+	}
+	if derr != nil {
+		return kernel.EIO
 	}
 	return kernel.OK
 }
@@ -208,9 +218,12 @@ func (d *Device) Send(ctx kernel.Context, dst int, tag uint32, data []byte) kern
 // its payload and source rank. Multi-packet messages are reassembled.
 func (d *Device) Recv(ctx kernel.Context, tag uint32) ([]byte, int, kernel.Errno) {
 	c := coro(ctx)
-	first := d.Ifc.RecvMatch(c, func(p torus.Packet) bool {
+	first, rerr := d.Ifc.RecvMatchErr(c, func(p torus.Packet) bool {
 		return p.Kind == kEager && p.Tag == tag
 	})
+	if rerr != nil {
+		return nil, -1, kernel.EIO
+	}
 	ctx.Compute(swRecvEager)
 	msgid := binary.BigEndian.Uint32(first.Payload[0:])
 	total := int(binary.BigEndian.Uint16(first.Payload[6:]))
@@ -222,10 +235,13 @@ func (d *Device) Recv(ctx kernel.Context, tag uint32) ([]byte, int, kernel.Errno
 	}
 	store(first)
 	for got := 1; got < total; got++ {
-		p := d.Ifc.RecvMatch(c, func(p torus.Packet) bool {
+		p, rerr := d.Ifc.RecvMatchErr(c, func(p torus.Packet) bool {
 			return p.Kind == kEager && p.Tag == tag &&
 				binary.BigEndian.Uint32(p.Payload[0:]) == msgid
 		})
+		if rerr != nil {
+			return nil, from, kernel.EIO
+		}
 		ctx.Compute(60) // per-packet receive handling
 		store(p)
 	}

@@ -76,9 +76,12 @@ func (c *Comm) SendBuf(ctx kernel.Context, to int, tag uint32, va hw.VAddr, size
 // choice; the matching engine blocks for whichever first packet (eager
 // data or RTS) carries the tag, then commits to that path.
 func (c *Comm) RecvBuf(ctx kernel.Context, tag uint32, va hw.VAddr, max uint64) (uint64, int, kernel.Errno) {
-	first := c.Dev.Ifc.RecvMatch(coro(ctx), func(p torus.Packet) bool {
+	first, rerr := c.Dev.Ifc.RecvMatchErr(coro(ctx), func(p torus.Packet) bool {
 		return (p.Kind == kEager || p.Kind == kRTS) && p.Tag == tag
 	})
+	if rerr != nil {
+		return 0, -1, kernel.EIO
+	}
 	c.Dev.Ifc.Requeue(first)
 	if first.Kind == kEager {
 		data, from, errno := c.Dev.Recv(ctx, tag)
@@ -105,7 +108,11 @@ func (c *Comm) RecvBuf(ctx kernel.Context, tag uint32, va hw.VAddr, max uint64) 
 func (c *Comm) Allreduce(ctx kernel.Context, x float64) (float64, kernel.Errno) {
 	if c.Comb != nil {
 		ctx.Compute(160) // collective-device injection
-		return c.Comb.Allreduce(coro(ctx), c.Rank(), x), kernel.OK
+		v, err := c.Comb.AllreduceErr(coro(ctx), c.Rank(), x)
+		if err != nil {
+			return 0, kernel.EIO
+		}
+		return v, kernel.OK
 	}
 	c.nextCollTag += 256 // disjoint tag block per collective call
 	tag := c.nextCollTag
@@ -136,7 +143,9 @@ func (c *Comm) Allreduce(ctx kernel.Context, x float64) (float64, kernel.Errno) 
 func (c *Comm) Barrier(ctx kernel.Context) kernel.Errno {
 	if c.Bar != nil {
 		ctx.Compute(120) // barrier unit programming
-		c.Bar.Enter(coro(ctx), c.Rank())
+		if err := c.Bar.EnterErr(coro(ctx), c.Rank()); err != nil {
+			return kernel.EIO
+		}
 		return kernel.OK
 	}
 	_, errno := c.Allreduce(ctx, 0)
@@ -153,7 +162,11 @@ func (c *Comm) Bcast(ctx kernel.Context, root int, x float64) (float64, kernel.E
 			v = x
 		}
 		ctx.Compute(160)
-		return c.Comb.Allreduce(coro(ctx), c.Rank(), v), kernel.OK
+		r, err := c.Comb.AllreduceErr(coro(ctx), c.Rank(), v)
+		if err != nil {
+			return 0, kernel.EIO
+		}
+		return r, kernel.OK
 	}
 	c.nextCollTag += 256
 	tag := c.nextCollTag

@@ -72,9 +72,12 @@ func (d *Device) SendRendezvous(ctx kernel.Context, dst int, tag uint32, localVA
 	var ranges []torus.PhysRange
 	npkts := 1
 	for got := 0; got < npkts; got++ {
-		p := d.Ifc.RecvMatch(c, func(p torus.Packet) bool {
+		p, rerr := d.Ifc.RecvMatchErr(c, func(p torus.Packet) bool {
 			return p.Kind == kCTS && binary.BigEndian.Uint32(p.Payload[0:]) == msgid
 		})
+		if rerr != nil {
+			return kernel.EIO
+		}
 		ctx.Compute(350)
 		_, _, n, rs := decodeCTS(p.Payload)
 		npkts = n
@@ -86,12 +89,17 @@ func (d *Device) SendRendezvous(ctx kernel.Context, dst int, tag uint32, localVA
 		src[i] = torus.PhysRange{PA: r.PA, Len: r.Len}
 	}
 	done := false
-	d.Ifc.Put(dstCoord, src, ranges, func() {
+	var derr error
+	d.Ifc.Put(dstCoord, src, ranges, func(err error) {
 		done = true
+		derr = err
 		c.Wake()
 	})
 	for !done {
 		c.Park(sim.Forever)
+	}
+	if derr != nil {
+		return kernel.EIO
 	}
 	// Completion notification to the receiver.
 	db := make([]byte, 4)
@@ -106,9 +114,12 @@ func (d *Device) SendRendezvous(ctx kernel.Context, dst int, tag uint32, localVA
 // landing it in [bufVA, bufVA+max). Returns the received size and sender.
 func (d *Device) RecvRendezvous(ctx kernel.Context, tag uint32, bufVA hw.VAddr, max uint64) (uint64, int, kernel.Errno) {
 	c := coro(ctx)
-	rts := d.Ifc.RecvMatch(c, func(p torus.Packet) bool {
+	rts, rerr := d.Ifc.RecvMatchErr(c, func(p torus.Packet) bool {
 		return p.Kind == kRTS && p.Tag == tag
 	})
+	if rerr != nil {
+		return 0, -1, kernel.EIO
+	}
 	ctx.Compute(swRTS)
 	msgid := binary.BigEndian.Uint32(rts.Payload[0:])
 	size := binary.BigEndian.Uint64(rts.Payload[4:])
@@ -138,9 +149,11 @@ func (d *Device) RecvRendezvous(ctx kernel.Context, tag uint32, bufVA hw.VAddr, 
 		d.Ifc.SendPacket(src, tag, kCTS, encodeCTS(msgid, i, npkts, ranges[lo:hi]))
 	}
 	// Wait for the completion notification.
-	d.Ifc.RecvMatch(c, func(p torus.Packet) bool {
+	if _, rerr := d.Ifc.RecvMatchErr(c, func(p torus.Packet) bool {
 		return p.Kind == kDone && binary.BigEndian.Uint32(p.Payload[0:]) == msgid
-	})
+	}); rerr != nil {
+		return 0, from, kernel.EIO
+	}
 	ctx.Compute(500)
 	d.Recvs++
 	return size, from, kernel.OK

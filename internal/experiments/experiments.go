@@ -88,11 +88,12 @@ var Registry = map[string]Runner{
 	"mtbf":       RunMTBF,
 	"crashes":    RunCrashes,
 	"ioscale":    RunIOScale,
+	"degrade":    RunDegrade,
 	"ablations":  RunAblations,
 }
 
 // Order lists the artifacts in paper order.
-var Order = []string{"fig5-7", "table1", "fig8", "linpack", "allreduce", "table2", "table3", "boot", "throughput", "repro", "faults", "mtbf", "crashes", "ioscale", "ablations"}
+var Order = []string{"fig5-7", "table1", "fig8", "linpack", "allreduce", "table2", "table3", "boot", "throughput", "repro", "faults", "mtbf", "crashes", "ioscale", "degrade", "ablations"}
 
 // RunAll executes every experiment and returns the results in paper
 // order. Runners are independent replicas (each builds its own engines

@@ -34,6 +34,8 @@ func TestRunFaults(t *testing.T)    { r, err := RunFaults(quick); check(t, r, er
 func TestRunMTBF(t *testing.T)      { r, err := RunMTBF(quick); check(t, r, err) }
 func TestRunIOScale(t *testing.T)   { r, err := RunIOScale(quick); check(t, r, err) }
 
+func TestRunDegrade(t *testing.T) { r, err := RunDegrade(quick); check(t, r, err) }
+
 func TestRunAblations(t *testing.T) { r, err := RunAblations(quick); check(t, r, err) }
 
 func TestRegistryComplete(t *testing.T) {

@@ -7,12 +7,12 @@ import (
 // TestRenderWorkerInvariance is the replica runner's contract stated at
 // the artifact level: the experiments that fan replicas — the mtbf
 // fault-rate sweep, the boot comparison, the control-system throughput
-// drain, and the ioscale aggregation sweep — must render byte-identically
-// at 1, 2, and 8 workers. Most are golden-pinned, so any worker-count
-// leak into a measured number or a rendered line fails twice over. Run
-// under -race in CI.
+// drain, the ioscale aggregation sweep, and the degrade resilience sweep
+// — must render byte-identically at 1, 2, and 8 workers. Most are
+// golden-pinned, so any worker-count leak into a measured number or a
+// rendered line fails twice over. Run under -race in CI.
 func TestRenderWorkerInvariance(t *testing.T) {
-	for _, id := range []string{"mtbf", "boot", "throughput", "ioscale"} {
+	for _, id := range []string{"mtbf", "boot", "throughput", "ioscale", "degrade"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -46,6 +46,12 @@ type Config struct {
 	Kind    KernelKind
 	MemSize uint64 // DDR per node; default 256MB
 
+	// Dims, when nonzero, shapes the torus as a full multi-dimensional
+	// torus instead of the default {Nodes,1,1} ring; Nodes is then derived
+	// from the product of the dimensions. Ranks map to coordinates in
+	// torus.EnumCoords order.
+	Dims torus.Coord
+
 	// CNK options.
 	MaxThreadsPerCore int
 	Reproducible      bool
@@ -117,6 +123,12 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
 	}
+	dims := torus.Coord{cfg.Nodes, 1, 1}
+	if cfg.Dims != (torus.Coord{}) {
+		dims = cfg.Dims
+	}
+	coords := torus.EnumCoords(dims)
+	cfg.Nodes = len(coords)
 	if cfg.CNsPerION <= 0 {
 		cfg.CNsPerION = cfg.Nodes
 	}
@@ -126,7 +138,7 @@ func New(cfg Config) (*Machine, error) {
 		m.RAS.AttachTrace(m.Eng.Trace())
 		m.inj = ras.NewInjector(m.Eng, m.RAS, *cfg.Faults)
 	}
-	m.Torus = torus.New(m.Eng, torus.DefaultConfig(torus.Coord{cfg.Nodes, 1, 1}))
+	m.Torus = torus.New(m.Eng, torus.DefaultConfig(dims))
 	m.Bar = barrier.New(m.Eng, cfg.Nodes, 0)
 	if cfg.Kind == KindCNK {
 		// The combining tree is driven from user space under CNK only.
@@ -134,7 +146,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 
 	for n := 0; n < cfg.Nodes; n++ {
-		chip := hw.NewChip(hw.ChipConfig{ID: n, MemSize: cfg.MemSize, Coord: [3]int{n, 0, 0}})
+		chip := hw.NewChip(hw.ChipConfig{ID: n, MemSize: cfg.MemSize, Coord: [3]int(coords[n])})
 		if m.inj != nil {
 			chip.AttachFaults(m.inj.Node(n))
 		}
@@ -142,13 +154,44 @@ func New(cfg Config) (*Machine, error) {
 		if m.Comb != nil {
 			m.Comb.AttachUPC(n, chip.UPC)
 		}
-		coord := torus.Coord{n, 0, 0}
+		coord := coords[n]
 		m.Coords = append(m.Coords, coord)
 		ifc := m.Torus.Attach(chip, coord)
 		n := n
 		m.Devs = append(m.Devs, dcmf.NewDevice(ifc, n, func(rank int) torus.Coord {
 			return m.Coords[rank]
 		}))
+	}
+
+	if m.inj != nil && cfg.Faults.NetEnabled() {
+		// Hard network faults: draw the link/node death schedule from the
+		// plan's dedicated machine-wide stream (no per-node stream is
+		// perturbed) and arm the torus's fault layer. A node death kills
+		// the job partition-wide: the barrier and combining tree release
+		// their waiters with errors, and the RAS log gets the JobKill the
+		// control system's localization scan keys on.
+		nodeAt := make(map[torus.Coord]int, len(coords))
+		for i, c := range coords {
+			nodeAt[c] = i
+		}
+		plan := torus.DrawFaultPlan(sim.NewRNG(cfg.Faults.NetSeed()), dims,
+			cfg.Faults.LinkFails, cfg.Faults.NodeFails, cfg.Faults.NetWindow())
+		m.Torus.ArmFaults(plan, !cfg.Faults.NetResilienceOff, func(c torus.Coord) {
+			node := nodeAt[c]
+			m.Bar.MarkDead(node)
+			if m.Comb != nil {
+				m.Comb.MarkDead(node)
+			}
+			m.Chips[node].Faults.Report(ras.JobKill, "torus",
+				"node failure: job killed partition-wide")
+		})
+		// Boot-time partition wiring validation: the seeded death schedule
+		// is part of the partition's configuration, so a topology it will
+		// disconnect must fail fast here instead of stranding the job
+		// mid-run.
+		if err := m.Torus.ValidatePlanRoutable(plan); err != nil {
+			return nil, fmt.Errorf("machine: %w", err)
+		}
 	}
 
 	// One ION (filesystem + CIOD) per CNsPerION compute nodes.

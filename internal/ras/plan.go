@@ -39,6 +39,23 @@ type Plan struct {
 	// fault schedules shared with ION-off runs.
 	IONCrashEvery uint64
 
+	// Hard network faults. LinkFails directed torus links and NodeFails
+	// whole torus interfaces die at cycles drawn uniformly from
+	// (0, NetFailWindow] (defaulted by NetWindow when zero). The draw
+	// comes from a dedicated machine-wide stream derived from NetSeed, so
+	// arming hard network faults consumes no draws from the per-node
+	// DDR/TLB/link/CIOD streams: the probabilistic fault schedule stays
+	// byte-identical whether or not the network is breaking.
+	LinkFails     int
+	NodeFails     int
+	NetFailWindow sim.Cycles
+
+	// NetResilienceOff disables the torus's fault-region rerouting and
+	// end-to-end retransmit layer, leaving only the hard faults: packets
+	// crossing a dead link are silently lost and receivers surface
+	// timeouts. The "degrade" experiment's baseline arm.
+	NetResilienceOff bool
+
 	// FWKPanicEvery makes the FWK treat every Nth uncorrectable DDR error
 	// it observes as fatal (0 = never, the default: the FWK's scrub
 	// absorbs them all). The real full-weight kernel cannot always paper
@@ -55,8 +72,31 @@ type Plan struct {
 func (p *Plan) Enabled() bool {
 	return p != nil && (p.DDRCorrectable > 0 || p.DDRUncorrectable > 0 ||
 		p.TLBParity > 0 || p.LinkCRC > 0 || p.CIODDrop > 0 || p.CIODCrashEvery > 0 ||
-		p.IONCrashEvery > 0)
+		p.IONCrashEvery > 0 || p.NetEnabled())
 }
+
+// NetEnabled reports whether the plan kills torus links or nodes.
+func (p *Plan) NetEnabled() bool {
+	return p != nil && (p.LinkFails > 0 || p.NodeFails > 0)
+}
+
+// defaultNetWindow bounds drawn network-fault cycles when the plan does
+// not say: ~2.4ms, early enough to land inside even quick jobs.
+const defaultNetWindow = sim.Cycles(2_000_000)
+
+// NetWindow returns the network-fault draw window, defaulted.
+func (p *Plan) NetWindow() sim.Cycles {
+	if p.NetFailWindow > 0 {
+		return p.NetFailWindow
+	}
+	return defaultNetWindow
+}
+
+// NetSeed derives the dedicated machine-wide stream seed for the hard
+// network-fault draw. Keeping it disjoint from the per-(node, site)
+// streams means arming LinkFails/NodeFails cannot perturb any
+// probabilistic fault schedule.
+func (p *Plan) NetSeed() uint64 { return p.Seed ^ 0x6e65745fdead11bc }
 
 // RestartDelay returns the CIOD respawn time, defaulted.
 func (p *Plan) RestartDelay() sim.Cycles {

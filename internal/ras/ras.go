@@ -43,6 +43,9 @@ const (
 	ServiceCrash    // service node died at an injected crash point
 	ServiceRecovery // service node replayed its journal and reconciled
 	IONCrash        // I/O node died: every attached CN's in-flight calls EIO-flushed
+	// Hard network faults (injected at drawn cycles, machine-wide).
+	LinkFail // a directed torus link died; traffic must detour or be lost
+	NodeFail // a whole node's torus interface died with all its links
 
 	NumClasses
 )
@@ -50,7 +53,7 @@ const (
 var classNames = [NumClasses]string{
 	"correctable_ecc", "uncorrectable_ecc", "tlb_parity", "link_crc",
 	"ciod_drop", "ciod_crash", "ciod_give_up", "job_kill", "recovery",
-	"service_crash", "service_recovery", "ion_crash",
+	"service_crash", "service_recovery", "ion_crash", "link_fail", "node_fail",
 }
 
 func (c Class) String() string {

@@ -59,6 +59,9 @@ type Network struct {
 	ifcs map[Coord]*Interface
 	// busyUntil per directed link, keyed by (coord, dim, positive?).
 	links map[linkKey]sim.Cycles
+	// Hard-fault layer; nil until ArmFaults, and every code path below
+	// runs the exact legacy sequence when it is nil.
+	faults *faultState
 }
 
 type linkKey struct {
@@ -174,6 +177,7 @@ type Packet struct {
 	From    Coord
 	Tag     uint32
 	Kind    uint8
+	Seq     uint64 // per-sender sequence number (reliable-delivery identity)
 	Payload []byte
 }
 
@@ -182,6 +186,8 @@ type Interface struct {
 	net   *Network
 	chip  *hw.Chip
 	coord Coord
+	seq   uint64 // last sequence number issued
+	dead  bool   // interface killed by a NodeFault
 
 	inbox   []Packet
 	waiters []*sim.Coro
@@ -229,6 +235,22 @@ func (i *Interface) retransPenalty(bytes int) sim.Cycles {
 	return extra
 }
 
+// chargeRetrans extends a transfer's link reservations by its drawn
+// retransmission time: a corrupted attempt re-serializes on the same
+// wires, so followers must see them busy for the extra cycles too, not
+// just the arrival pushed out.
+func (n *Network) chargeRetrans(a, b Coord, extra sim.Cycles) {
+	if extra == 0 {
+		return
+	}
+	dim, pos := n.firstHop(a, b)
+	if dim < 0 {
+		return
+	}
+	n.links[linkKey{a, dim, pos}] += extra
+	n.links[linkKey{b, dim, !pos}] += extra
+}
+
 func (i *Interface) requireUnits() {
 	if !i.chip.UnitEnabled(hw.UnitTorus) {
 		panic(fmt.Sprintf("torus: torus unit broken on chip %d", i.chip.ID))
@@ -246,12 +268,24 @@ func (i *Interface) SendPacket(dst Coord, tag uint32, kind uint8, payload []byte
 	if len(payload) > PacketBytes {
 		panic("torus: active-message payload exceeds one packet; use Put")
 	}
-	done := i.net.transferDone(i.coord, dst, len(payload)) + i.retransPenalty(len(payload))
-	p := Packet{From: i.coord, Tag: tag, Kind: kind, Payload: append([]byte(nil), payload...)}
+	i.seq++
+	p := Packet{From: i.coord, Tag: tag, Kind: kind, Seq: i.seq, Payload: append([]byte(nil), payload...)}
 	i.PacketsSent++
 	u := i.chip.UPC
 	u.Inc(upc.ChipScope, upc.TorusPacket)
 	u.Trace.Emit(upc.EvTorusPacket, upc.ChipScope, i.net.eng.Now(), uint64(tag))
+	if i.net.faults != nil {
+		target := i.net.At(dst)
+		i.sendArmed(dst, len(payload), 0, func(err error) {
+			if err == nil {
+				target.deliver(p)
+			}
+		})
+		return
+	}
+	pen := i.retransPenalty(len(payload))
+	done := i.net.transferDone(i.coord, dst, len(payload)) + pen
+	i.net.chargeRetrans(i.coord, dst, pen)
 	target := i.net.At(dst)
 	i.net.eng.At(done+i.net.cfg.RecvOverhead, func() { target.deliver(p) })
 }
@@ -283,6 +317,45 @@ func (i *Interface) RecvMatch(c *sim.Coro, pred func(Packet) bool) Packet {
 	}
 }
 
+// RecvMatchErr is RecvMatch with delivery-failure semantics: on a
+// network without hard faults armed it blocks exactly like RecvMatch,
+// but on an armed network the wait is bounded by the end-to-end receive
+// timeout and surfaces a typed *DeliveryError — instead of a coro parked
+// forever — when the local interface dies or expected traffic never
+// arrives (lost on a dead wire, sender dead, route gone).
+func (i *Interface) RecvMatchErr(c *sim.Coro, pred func(Packet) bool) (Packet, error) {
+	if i.net.faults == nil {
+		return i.RecvMatch(c, pred), nil
+	}
+	f := i.net.faults
+	deadline := i.net.eng.Now() + f.recvTimeout
+	for {
+		for idx, p := range i.inbox {
+			if pred(p) {
+				i.inbox = append(i.inbox[:idx], i.inbox[idx+1:]...)
+				return p, nil
+			}
+		}
+		if i.dead {
+			i.chip.UPC.Inc(upc.ChipScope, upc.TorusE2ETimeout)
+			return Packet{}, &DeliveryError{From: i.coord, To: i.coord, Reason: "local node dead"}
+		}
+		now := i.net.eng.Now()
+		if now >= deadline {
+			i.chip.UPC.Inc(upc.ChipScope, upc.TorusE2ETimeout)
+			return Packet{}, &DeliveryError{From: i.coord, To: i.coord, Reason: "receive timed out waiting for delivery"}
+		}
+		i.waiters = append(i.waiters, c)
+		c.Park(deadline - now)
+		for idx, w := range i.waiters {
+			if w == c {
+				i.waiters = append(i.waiters[:idx], i.waiters[idx+1:]...)
+				break
+			}
+		}
+	}
+}
+
 // Poll returns a packet matching pred without blocking.
 func (i *Interface) Poll(pred func(Packet) bool) (Packet, bool) {
 	for idx, p := range i.inbox {
@@ -303,9 +376,11 @@ type PhysRange struct {
 // Put performs a direct-put DMA: bytes from src physical ranges on this
 // node are written to dst physical ranges on the remote node. onDone (if
 // non-nil) runs when the transfer completes at the destination (the
-// reception counter hitting zero). The injection cost is charged per
-// descriptor: one per source range.
-func (i *Interface) Put(dst Coord, src, dstRanges []PhysRange, onDone func()) sim.Cycles {
+// reception counter hitting zero), with a nil error — or, on an armed
+// network, with a *DeliveryError when the transfer could not be
+// delivered. The injection cost is charged per descriptor: one per
+// source range.
+func (i *Interface) Put(dst Coord, src, dstRanges []PhysRange, onDone func(error)) sim.Cycles {
 	i.requireUnits()
 	target := i.net.At(dst)
 	var total uint64
@@ -332,44 +407,80 @@ func (i *Interface) Put(dst Coord, src, dstRanges []PhysRange, onDone func()) si
 		data = append(data, b...)
 	}
 	descCost := sim.Cycles(uint64(len(src))) * i.net.cfg.PerDescriptor
-	done := i.net.transferDone(i.coord, dst, int(total)) + descCost +
-		i.net.cfg.RecvOverhead + i.retransPenalty(int(total))
 	i.Descriptors += uint64(len(src))
 	i.BytesPut += total
 	u := i.chip.UPC
 	u.Add(upc.ChipScope, upc.DMADescriptor, uint64(len(src)))
 	u.Add(upc.ChipScope, upc.TorusBytes, total)
 	u.Trace.Emit(upc.EvDMAInject, upc.ChipScope, i.net.eng.Now(), total)
-	i.net.eng.At(done, func() {
+	land := func() {
 		off := uint64(0)
 		for _, r := range dstRanges {
 			target.chip.Mem.Write(r.PA, data[off:off+r.Len])
 			off += r.Len
 		}
 		if onDone != nil {
-			onDone()
+			onDone(nil)
 		}
-	})
+	}
+	if i.net.faults != nil {
+		return i.sendArmed(dst, int(total), descCost, func(err error) {
+			if err != nil {
+				if onDone != nil {
+					onDone(err)
+				}
+				return
+			}
+			land()
+		})
+	}
+	pen := i.retransPenalty(int(total))
+	done := i.net.transferDone(i.coord, dst, int(total)) + descCost +
+		i.net.cfg.RecvOverhead + pen
+	i.net.chargeRetrans(i.coord, dst, pen)
+	i.net.eng.At(done, land)
 	return done
 }
 
 // Get fetches bytes from remote physical ranges into local ranges: a
 // request packet travels to the remote DMA, which responds with a put.
-// onDone runs locally when the data has landed.
-func (i *Interface) Get(dst Coord, remote, local []PhysRange, onDone func()) {
+// onDone runs locally when the data has landed (nil error), or with a
+// *DeliveryError when either leg of an armed transfer failed.
+func (i *Interface) Get(dst Coord, remote, local []PhysRange, onDone func(error)) {
 	i.requireUnits()
 	target := i.net.At(dst)
-	reqDone := i.net.transferDone(i.coord, dst, 16) + i.retransPenalty(16) // request descriptor packet
 	i.Descriptors++
 	i.chip.UPC.Inc(upc.ChipScope, upc.DMADescriptor)
 	i.chip.UPC.Trace.Emit(upc.EvDMAInject, upc.ChipScope, i.net.eng.Now(), 16)
+	if i.net.faults != nil {
+		// Reliable request leg; the data leg is the remote's armed Put,
+		// which passes its own delivery error through onDone.
+		i.sendArmed(dst, 16, 0, func(err error) {
+			if err != nil {
+				if onDone != nil {
+					onDone(err)
+				}
+				return
+			}
+			target.Put(i.coord, remote, local, onDone)
+		})
+		return
+	}
+	pen := i.retransPenalty(16) // request descriptor packet
+	reqDone := i.net.transferDone(i.coord, dst, 16) + pen
+	i.net.chargeRetrans(i.coord, dst, pen)
 	i.net.eng.At(reqDone+i.net.cfg.RecvOverhead, func() {
 		target.Put(i.coord, remote, local, onDone)
 	})
 }
 
 // Requeue returns a polled packet to the front of the inbox (used by
-// protocol layers that peek to choose a receive path).
+// protocol layers that peek to choose a receive path). Waiters are woken:
+// the requeued packet may be exactly what a parked RecvMatch is matching
+// on, and without the wake that coro would sleep forever.
 func (i *Interface) Requeue(p Packet) {
 	i.inbox = append([]Packet{p}, i.inbox...)
+	for _, c := range i.waiters {
+		c.Wake()
+	}
 }

@@ -63,7 +63,7 @@ func TestPutMovesBytes(t *testing.T) {
 		a.Put(b.Coord(),
 			[]PhysRange{{PA: 0x1000, Len: 18}},
 			[]PhysRange{{PA: 0x8000, Len: 18}},
-			func() { done = true })
+			func(error) { done = true })
 	})
 	eng.RunUntilIdle()
 	if !done {
@@ -113,7 +113,7 @@ func TestGetFetchesRemote(t *testing.T) {
 	var doneAt sim.Cycles
 	eng.Go("get", func(c *sim.Coro) {
 		a.Get(b.Coord(), []PhysRange{{0x2000, 12}}, []PhysRange{{0x7000, 12}},
-			func() { doneAt = eng.Now() })
+			func(error) { doneAt = eng.Now() })
 	})
 	eng.RunUntilIdle()
 	buf := make([]byte, 12)
@@ -135,12 +135,12 @@ func TestGetCostsMoreThanPut(t *testing.T) {
 	var putDone, getDone sim.Cycles
 	eng.Go("put", func(c *sim.Coro) {
 		a.Put(b.Coord(), []PhysRange{{0x2000, 64}}, []PhysRange{{0x9000, 64}},
-			func() { putDone = eng.Now() })
+			func(error) { putDone = eng.Now() })
 	})
 	eng.RunUntilIdle()
 	eng.Go("get", func(c *sim.Coro) {
 		a.Get(b.Coord(), []PhysRange{{0x2000, 64}}, []PhysRange{{0xA000, 64}},
-			func() { getDone = eng.Now() - putDone })
+			func(error) { getDone = eng.Now() - putDone })
 	})
 	eng.RunUntilIdle()
 	if getDone <= putDone {
@@ -161,7 +161,7 @@ func TestDescriptorOverheadVisible(t *testing.T) {
 		}
 		var done sim.Cycles
 		eng.Go("put", func(c *sim.Coro) {
-			a.Put(b.Coord(), src, []PhysRange{{0, total}}, func() { done = eng.Now() })
+			a.Put(b.Coord(), src, []PhysRange{{0, total}}, func(error) { done = eng.Now() })
 		})
 		eng.RunUntilIdle()
 		return done
@@ -177,8 +177,8 @@ func TestLinkContentionBetweenTransfers(t *testing.T) {
 	eng, a, b := twoNodeNet(t)
 	var t1, t2 sim.Cycles
 	eng.Go("puts", func(c *sim.Coro) {
-		a.Put(b.Coord(), []PhysRange{{0, 32 << 10}}, []PhysRange{{0x10000, 32 << 10}}, func() { t1 = eng.Now() })
-		a.Put(b.Coord(), []PhysRange{{0, 32 << 10}}, []PhysRange{{0x20000, 32 << 10}}, func() { t2 = eng.Now() })
+		a.Put(b.Coord(), []PhysRange{{0, 32 << 10}}, []PhysRange{{0x10000, 32 << 10}}, func(error) { t1 = eng.Now() })
+		a.Put(b.Coord(), []PhysRange{{0, 32 << 10}}, []PhysRange{{0x20000, 32 << 10}}, func(error) { t2 = eng.Now() })
 	})
 	eng.RunUntilIdle()
 	ser := sim.Cycles(float64(32<<10) * 2.0)

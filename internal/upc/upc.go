@@ -97,6 +97,14 @@ const (
 	IONCacheMiss   // chip: buffer-cache block misses (filled from fs)
 	IONWriteback   // chip: dirty blocks written back to fs
 	IONFlush       // chip: explicit cache flushes (fsync/close/quiesce)
+	// Torus fault tolerance (chip-scoped; zero unless hard network faults
+	// are armed). Detour counts extra hops taken around dead links; the
+	// e2e counters account the reliable-delivery layer's retransmits and
+	// abandoned deliveries.
+	TorusRouteDetour // chip: extra hops routed around dead links
+	TorusLinkDead    // chip: directed torus links declared dead on this node
+	TorusE2ERetry    // chip: end-to-end retransmits after a lost delivery
+	TorusE2ETimeout  // chip: deliveries abandoned (retries exhausted / unroutable / recv timeout)
 
 	NumCounters
 )
@@ -117,6 +125,7 @@ var counterNames = [NumCounters]string{
 	"ras_correctable", "ras_uncorrectable",
 	"ion_stall", "ion_stall_cycles", "ion_admit", "ion_coalesce",
 	"ion_cache_hit", "ion_cache_miss", "ion_writeback", "ion_flush",
+	"torus_route_detour", "torus_link_dead", "torus_e2e_retry", "torus_e2e_timeout",
 }
 
 func (c Counter) String() string {

@@ -20,7 +20,7 @@ echo "== go test -race"
 go test -race ./...
 
 echo "== fuzz seed-corpus regressions"
-go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/ ./internal/ion/ ./internal/ctrlsys/ ./internal/ctrlsys/wal/ ./internal/ckpt/
+go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/ ./internal/ion/ ./internal/ctrlsys/ ./internal/ctrlsys/wal/ ./internal/ckpt/ ./internal/torus/
 
 # The fault matrix is part of the -race suite above, but gate on it
 # explicitly: per-class fault determinism and the recovery-under-fault
@@ -70,6 +70,18 @@ go test -race -run 'TestRestartDeterminismThroughIONCache' ./internal/ctrlsys/
 go test -run 'TestFaultMatrix/.*/ion_crash' ./internal/machine/
 go test -run 'TestGolden/ioscale' ./internal/experiments/
 
+# Fault-tolerant torus contracts: the armed hard-fault matrix (link_fail
+# and node_fail x seeds x both kernels) must replay cycle-exactly and
+# bit-identically at 1/2/8 workers (under -race); a plan with no hard
+# network faults must leave the legacy torus path untouched; an
+# unroutable plan must be refused at boot; the net-fault control-system
+# consequences (localization, blacklist, typed budget error) must hold;
+# and the degrade sweep must match its golden byte-for-byte.
+echo "== fault-tolerant torus: fault matrix + nil-path + degrade golden"
+go test -race -run 'TestTorusFaultMatrix|TestTorusFaultsOffChangesNothing|TestUnroutablePartitionFailsBoot' ./internal/machine/
+go test -race -run 'TestLinkFaultLocalizedAndSurvived|TestNodeFaultExhaustsBudgetTyped' ./internal/ctrlsys/
+go test -run 'TestGolden/degrade' ./internal/experiments/
+
 # Sim fast-path contracts, gated explicitly: the timer-wheel scheduler
 # must replay seeded event workloads AND full machine fault-replay runs
 # bit-identically to the reference heap (trace hashes, exit codes, UPC
@@ -92,6 +104,7 @@ if [ "$FUZZTIME" != "0" ]; then
 	go test -fuzz=FuzzPersonality -fuzztime="$FUZZTIME" ./internal/ctrlsys/
 	go test -fuzz=FuzzCheckpointImage -fuzztime="$FUZZTIME" ./internal/ckpt/
 	go test -fuzz=FuzzJournal -fuzztime="$FUZZTIME" ./internal/ctrlsys/wal/
+	go test -fuzz=FuzzFaultPlan -fuzztime="$FUZZTIME" ./internal/torus/
 fi
 
 echo "CI gate passed."
