@@ -26,6 +26,7 @@ import (
 	"bgcnk/internal/ion"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/machine"
+	"bgcnk/internal/obs"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/torus"
@@ -86,6 +87,11 @@ type MachineConfig struct {
 	// coalescing and the write-back buffer cache. The zero IONConfig takes
 	// all defaults.
 	ION *IONConfig
+	// Obs, when non-nil, arms the cycle-timestamped span recorder
+	// (Machine.Obs): every layer emits spans, and a nonzero SampleEvery
+	// adds the periodic UPC time-series. Recording charges zero simulated
+	// cycles. The zero ObsConfig records all categories, sampler off.
+	Obs *ObsConfig
 }
 
 // IONConfig sizes one I/O node's aggregation machinery (MachineConfig.ION,
@@ -149,6 +155,7 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		Faults:            cfg.Faults,
 		CNsPerION:         cfg.CNsPerION,
 		ION:               cfg.ION,
+		Obs:               cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -178,6 +185,35 @@ const (
 	TraceIO      = upc.CatIO
 	TraceAll     = upc.CatAll
 )
+
+// ---- Observability ----
+//
+// The span layer (internal/obs) records cycle-timestamped spans from
+// every layer — kernel boots, syscalls, scheduler ticks and daemon
+// bursts, torus packets, collective sends, CIOD function shipping, ION
+// backpressure stalls, control-system job lifecycles — plus a periodic
+// delta-encoded UPC time-series. Recording charges zero simulated
+// cycles: arming it changes no trace hash, exit code, counter or RAS
+// log, and the exported bytes are deterministic given the seed.
+
+// ObsConfig arms the span recorder (MachineConfig.Obs, ControlConfig.Obs);
+// the zero value records every category with the sampler off.
+type ObsConfig = obs.Config
+
+// ObsRecorder accumulates spans and samples (Machine.Obs,
+// ServiceNode.Obs); export with Machine.TraceJSON / TraceBinary.
+type ObsRecorder = obs.Recorder
+
+// ObsTrace is a recorder's complete output (spans + samples), the unit
+// the binary trace codec round-trips.
+type ObsTrace = obs.Trace
+
+// ObsSpan is one recorded cycle-timestamped interval.
+type ObsSpan = obs.Span
+
+// UnmarshalTrace decodes a binary trace (Machine.TraceBinary), rejecting
+// truncated, corrupt or non-canonical input.
+func UnmarshalTrace(b []byte) (ObsTrace, error) { return obs.Unmarshal(b) }
 
 // CounterDelta returns after minus before, elementwise.
 func CounterDelta(before, after CounterSnapshot) CounterSnapshot {

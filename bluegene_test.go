@@ -156,7 +156,7 @@ func TestFacadeCrashRecovery(t *testing.T) {
 
 func TestExperimentRegistryAccessible(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 16 {
+	if len(ids) != 17 {
 		t.Fatalf("experiments: %v", ids)
 	}
 	if _, err := Experiment("no-such", true); err == nil {

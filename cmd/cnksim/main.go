@@ -45,6 +45,8 @@ func main() {
 	partitions := flag.Int("partitions", 4, "control-system mode: midplanes in the machine")
 	jobs := flag.Int("jobs", 0, "control-system mode: drain this many queued jobs (0 = run -workload instead)")
 	workers := flag.Int("workers", 1, "control-system mode: parallel partition workers")
+	tracePath := flag.String("trace", "", "write the run's span trace to this file as Chrome trace-event JSON (load in ui.perfetto.dev)")
+	traceSample := flag.Int("tracesample", 0, "with -trace: also sample the UPC counters every N cycles (delta-encoded time-series)")
 	flag.Parse()
 
 	if *counters != "" && *counters != "text" && *counters != "json" {
@@ -58,10 +60,13 @@ func main() {
 	}
 
 	if *jobs > 0 {
-		runControl(kind, *partitions, *nodes, *jobs, *workers, *seed, *faults, *ions)
+		runControl(kind, *partitions, *nodes, *jobs, *workers, *seed, *faults, *ions, *tracePath)
 		return
 	}
 	mcfg := bluegene.MachineConfig{Nodes: *nodes, Kernel: kind, Seed: *seed}
+	if *tracePath != "" {
+		mcfg.Obs = &bluegene.ObsConfig{SampleEvery: sim.Cycles(*traceSample)}
+	}
 	if *faults != 0 {
 		mcfg.Faults = bluegene.DefaultFaultPlan(*faults)
 	}
@@ -162,6 +167,20 @@ func main() {
 			fmt.Print(m.RAS.Table())
 		}
 	}
+
+	if *tracePath != "" {
+		writeTrace(*tracePath, m.TraceJSON(), m.Obs.SpanCount(), m.Obs.SampleCount())
+	}
+}
+
+// writeTrace saves a Chrome trace-event JSON export and reports its size.
+func writeTrace(path string, data []byte, spans, samples int) {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ntrace: %d spans, %d samples, %d bytes -> %s (load in ui.perfetto.dev)\n",
+		spans, samples, len(data), path)
 }
 
 func report(err error) {
@@ -174,12 +193,15 @@ func report(err error) {
 // runControl drains a seeded job queue through the control system: a
 // service node over `partitions` midplanes of `nodesPerMidplane` compute
 // nodes, `workers` partition simulations in flight at once.
-func runControl(kind bluegene.KernelKind, partitions, nodesPerMidplane, jobs, workers int, seed, faults uint64, ions int) {
+func runControl(kind bluegene.KernelKind, partitions, nodesPerMidplane, jobs, workers int, seed, faults uint64, ions int, tracePath string) {
 	cfg := bluegene.ControlConfig{
 		Topology: bluegene.Topology{Racks: 1, MidplanesPerRack: partitions, NodesPerMidplane: nodesPerMidplane},
 		Kind:     kind,
 		Seed:     seed,
 		Workers:  workers,
+	}
+	if tracePath != "" {
+		cfg.Obs = &bluegene.ObsConfig{}
 	}
 	if faults != 0 {
 		cfg.Faults = bluegene.DefaultFaultPlan(faults)
@@ -206,6 +228,9 @@ func runControl(kind bluegene.KernelKind, partitions, nodesPerMidplane, jobs, wo
 	// reruns (ctrlbench is the wall-clock reporting tool).
 	fmt.Printf("%d failures, %d RAS events, drain signature %016x\n",
 		d.Failures, d.RASEvents, d.Signature())
+	if tracePath != "" {
+		writeTrace(tracePath, s.TraceJSON(), s.Obs().SpanCount(), s.Obs().SampleCount())
+	}
 	if d.Failures > 0 {
 		for _, r := range d.Results {
 			if r.Failed() {

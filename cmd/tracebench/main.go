@@ -1,0 +1,103 @@
+// Command tracebench measures the observability layer's trace volume
+// and writes a machine-readable benchmark report (BENCH_obs.json by
+// default): for each kernel and node count, the span count (total and
+// by hot category), UPC time-series sample count, and the sizes of the
+// Chrome trace-event JSON and compact binary exports. Every cell is run
+// twice; the tool exits nonzero if any rerun's JSON export is not
+// byte-identical — the trace is part of the repo's determinism
+// contract.
+//
+//	go run ./cmd/tracebench                 # full sweep
+//	go run ./cmd/tracebench -quick -out ...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"bgcnk/internal/experiments"
+	"bgcnk/internal/machine"
+	"bgcnk/internal/sim/replica"
+)
+
+type obsRow struct {
+	Kernel       string  `json:"kernel"`
+	Nodes        int     `json:"nodes"`
+	Spans        int     `json:"spans"`
+	SpansPerNode float64 `json:"spans_per_node"`
+	SchedSpans   int     `json:"sched_spans"`
+	SyscallSpans int     `json:"syscall_spans"`
+	Samples      int     `json:"upc_samples"`
+	JSONBytes    int     `json:"json_bytes"`
+	BinBytes     int     `json:"bin_bytes"`
+	Identical    bool    `json:"identical_rerun"`
+}
+
+type obsReport struct {
+	CPUs    int      `json:"host_cpus"`
+	Workers int      `json:"workers"`
+	Rows    []obsRow `json:"trace_sweep"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_obs.json", "output path")
+	quick := flag.Bool("quick", false, "small sweep for CI smoke")
+	flag.Parse()
+
+	counts := []int{1, 2, 4, 8}
+	if *quick {
+		counts = []int{1, 4}
+	}
+	kinds := []struct {
+		kind machine.KernelKind
+		name string
+	}{
+		{machine.KindCNK, "cnk"},
+		{machine.KindFWK, "fwk"},
+	}
+	workers := replica.DefaultWorkers()
+	rep := obsReport{CPUs: runtime.NumCPU(), Workers: workers}
+
+	// Each (kernel, nodes) cell builds its own machine, so the whole
+	// sweep fans across the worker pool; rows land in sweep order.
+	rep.Rows = replica.Map(workers, len(kinds)*len(counts), func(idx int) obsRow {
+		k := kinds[idx/len(counts)]
+		nodes := counts[idx%len(counts)]
+		m, err := experiments.MeasureTraceScale(k.kind, nodes)
+		fail(err)
+		return obsRow{
+			Kernel: k.name, Nodes: nodes,
+			Spans: m.Spans, SpansPerNode: m.SpansPerNode,
+			SchedSpans: m.SchedSpans, SyscallSpans: m.SyscallSpans,
+			Samples: m.Samples, JSONBytes: m.JSONBytes, BinBytes: m.BinBytes,
+			Identical: m.Identical,
+		}
+	})
+	for _, r := range rep.Rows {
+		if !r.Identical {
+			fmt.Fprintf(os.Stderr, "FATAL: %s %d-node rerun trace diverged — determinism broken\n", r.Kernel, r.Nodes)
+			os.Exit(1)
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	fail(err)
+	blob = append(blob, '\n')
+	fail(os.WriteFile(*out, blob, 0o644))
+	fmt.Printf("wrote %s (%d cpus, %d workers)\n", *out, rep.CPUs, workers)
+	for _, r := range rep.Rows {
+		fmt.Printf("  %s %2d nodes: %6d spans (%6.1f/node; sched %5d, syscall %4d), %4d samples, json %7d B, bin %6d B, exact=%v\n",
+			r.Kernel, r.Nodes, r.Spans, r.SpansPerNode, r.SchedSpans, r.SyscallSpans,
+			r.Samples, r.JSONBytes, r.BinBytes, r.Identical)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

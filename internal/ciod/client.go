@@ -5,6 +5,7 @@ import (
 	"bgcnk/internal/fs"
 	"bgcnk/internal/ion"
 	"bgcnk/internal/kernel"
+	"bgcnk/internal/obs"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
@@ -45,10 +46,21 @@ type Client struct {
 	policy  RetryPolicy
 	faults  *ras.NodeFaults
 	ion     *ion.Node
+	obs     *obs.Recorder
+	node    int
 
 	Calls    uint64
 	Timeouts uint64
 	Retries  uint64
+}
+
+// AttachObs wires the machine-wide span recorder: each shipped call
+// emits one io span covering ship→execute→reply, and an ION
+// ingress-credit wait emits a stall span. node is this client's compute
+// node ID (the span's pid).
+func (cl *Client) AttachObs(r *obs.Recorder, node int) {
+	cl.obs = r
+	cl.node = node
 }
 
 // NewClient wraps a compute node's tree endpoint.
@@ -85,6 +97,12 @@ func (cl *Client) Call(c *sim.Coro, req *Request) *Reply {
 	if cl.upc != nil {
 		cl.upc.Inc(upc.ChipScope, upc.FunctionShip)
 	}
+	if cl.obs != nil {
+		start := c.Now()
+		defer func() {
+			cl.obs.Emit(obs.CatIO, OpName(req.Op), cl.node, int(req.PID), start, c.Now(), uint64(req.Op))
+		}()
+	}
 	c.Sleep(costMarshal)
 	data := MarshalRequest(req)
 	attempts := 1
@@ -103,7 +121,11 @@ func (cl *Client) Call(c *sim.Coro, req *Request) *Reply {
 		tag := cl.nextTag
 		wire := data
 		if cl.ion != nil {
+			creditStart := c.Now()
 			cl.ion.Acquire(c, cl.ep.ID(), cl.upc)
+			if waited := c.Now(); waited > creditStart {
+				cl.obs.Emit(obs.CatStall, "ion:credit", cl.node, int(req.PID), creditStart, waited, 0)
+			}
 			wire = ion.MarshalFrame(&ion.Frame{
 				CN: int32(cl.ep.ID()), PID: req.PID, Tag: tag, Payload: data,
 			})

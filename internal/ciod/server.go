@@ -8,6 +8,7 @@ import (
 	"bgcnk/internal/fs"
 	"bgcnk/internal/ion"
 	"bgcnk/internal/kernel"
+	"bgcnk/internal/obs"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
@@ -56,11 +57,23 @@ type Server struct {
 	// file data moves through the write-back buffer cache.
 	ionNode *ion.Node
 
+	// obs, when non-nil, receives one io span per served batch
+	// (execute→reply); node is the ION's span pid, -(tree+1).
+	obs     *obs.Recorder
+	obsNode int
+
 	Calls    uint64 // function-shipped calls served
 	Proxies  int    // ioproxies ever created
 	MaxProxy int    // high-water mark of live proxies
 	Crashes  int    // daemon crash+restart cycles
 	Dropped  uint64 // replies lost to injected faults
+}
+
+// AttachObs wires the machine-wide span recorder; node is this I/O
+// node's span pid (the machine uses -(tree+1)).
+func (s *Server) AttachObs(r *obs.Recorder, node int) {
+	s.obs = r
+	s.obsNode = node
 }
 
 type ioproxy struct {
@@ -228,6 +241,7 @@ func (s *Server) proxyLoop(c *sim.Coro, p *ioproxy, t *proxyThread) {
 				t.queue = t.queue[1:]
 			}
 		}
+		execStart := c.Now()
 		c.Sleep(costExecute + costCoalescedWrite*sim.Cycles(len(batch)-1))
 		if len(batch) > 1 {
 			s.ionNode.Counters().Add(upc.ChipScope, upc.IONCoalesce, uint64(len(batch)-1))
@@ -270,6 +284,7 @@ func (s *Server) proxyLoop(c *sim.Coro, p *ioproxy, t *proxyThread) {
 				}
 			}
 		}
+		s.obs.Emit(obs.CatIO, "ciod:execute", s.obsNode, int(p.pid), execStart, c.Now(), uint64(len(batch)))
 		if t.dead {
 			return
 		}

@@ -15,6 +15,7 @@ import (
 	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/mem"
+	"bgcnk/internal/obs"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
@@ -75,7 +76,15 @@ type Kernel struct {
 	// IOUnavailable reports which units boot found broken (bringup on
 	// partial hardware, paper Section III).
 	UnitsDown []hw.Unit
+
+	// obs, when non-nil, receives boot, syscall and IPI spans. Emitting
+	// charges no cycles; a nil recorder is the off switch.
+	obs *obs.Recorder
 }
+
+// AttachObs wires the machine-wide span recorder (call before Boot so
+// the boot span is captured; nil is a no-op recorder).
+func (k *Kernel) AttachObs(r *obs.Recorder) { k.obs = r }
 
 // New constructs a CNK instance for chip. Call Boot before launching jobs.
 func New(eng *sim.Engine, chip *hw.Chip, cfg Config) *Kernel {
@@ -138,6 +147,7 @@ func (k *Kernel) Boot() error {
 	k.BootedAt = k.Eng.Now() + sim.Cycles(instr)
 	k.booted = true
 	tr.Record(k.BootedAt, k.tag(), "boot: complete")
+	k.obs.Emit(obs.CatBoot, "cnk:boot", k.Chip.ID, 0, k.Eng.Now(), k.BootedAt, instr)
 	return nil
 }
 
@@ -202,8 +212,10 @@ func (k *Kernel) ServiceInterrupt(t *kernel.Thread) {
 		u.Inc(cs.core.ID, upc.Interrupt)
 		u.Inc(cs.core.ID, upc.IPI)
 		u.Trace.Emit(upc.EvIPI, cs.core.ID, k.Eng.Now(), 0)
+		ipiStart := k.Eng.Now()
 		t.Coro().Sleep(ipiCost)
 		fn(t)
+		k.obs.Emit(obs.CatSched, "cnk:ipi", k.Chip.ID, t.CoreID(), ipiStart, k.Eng.Now(), 0)
 	}
 	k.deliverSignals(t)
 }

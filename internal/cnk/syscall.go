@@ -6,6 +6,7 @@ import (
 	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
 	"bgcnk/internal/mem"
+	"bgcnk/internal/obs"
 	"bgcnk/internal/sim"
 )
 
@@ -22,6 +23,15 @@ import (
 func (k *Kernel) Syscall(t *kernel.Thread, num kernel.Sys, args []uint64) (uint64, kernel.Errno) {
 	if k.cfg.TraceSyscalls {
 		k.trace(k.Eng.Now(), fmt.Sprintf("pid%d tid%d %v", t.PID(), t.TID(), num))
+	}
+	if k.obs != nil {
+		// Deferred so the span survives exit's thread unwind (exitThread
+		// panics threadExit through this frame).
+		start := k.Eng.Now()
+		core := t.CoreID()
+		defer func() {
+			k.obs.Emit(obs.CatSyscall, num.String(), k.Chip.ID, core, start, k.Eng.Now(), uint64(num))
+		}()
 	}
 	p := k.procs[t.PID()]
 	if p == nil {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"bgcnk/internal/obs"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
@@ -66,7 +67,15 @@ type Tree struct {
 	// legacy per-endpoint model is byte-identical.
 	shareUp bool
 	upBusy  sim.Cycles
+
+	// obs, when non-nil, receives one msg span per tree send
+	// (serialization start to delivery); emitting charges no cycles.
+	obs *obs.Recorder
 }
+
+// AttachObs wires the machine-wide span recorder to every endpoint of
+// this tree (nil is a no-op recorder).
+func (t *Tree) AttachObs(r *obs.Recorder) { t.obs = r }
 
 // Endpoint is one node's tree interface: an inbox plus a serialized
 // outgoing link.
@@ -222,6 +231,7 @@ func (e *Endpoint) Send(to int, tag uint32, data []byte) {
 		e.upc.Add(upc.ChipScope, upc.CollBytes, uint64(len(data)))
 		e.upc.Trace.Emit(upc.EvCollSend, upc.ChipScope, e.tree.eng.Now(), uint64(len(data)))
 	}
+	e.tree.obs.Emit(obs.CatMsg, "coll:send", e.id, 0, e.tree.eng.Now(), arrive, uint64(len(data)))
 	e.tree.eng.At(arrive, func() { dst.deliver(msg) })
 }
 

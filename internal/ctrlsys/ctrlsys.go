@@ -25,6 +25,7 @@ import (
 
 	"bgcnk/internal/ion"
 	"bgcnk/internal/machine"
+	"bgcnk/internal/obs"
 	"bgcnk/internal/ras"
 )
 
@@ -106,6 +107,11 @@ type Config struct {
 	// drain; with Journal off, crash-aborted jobs surface
 	// ErrServiceNodeCrash in DrainResult.Errs.
 	Crashes *ras.CrashPlan
+	// Obs, when non-nil, arms the service node's span recorder: Drain
+	// emits each job's lifecycle (submit/boot/run/restart/teardown) as
+	// control-time spans, serially in job-ID order after the merge, so
+	// the trace is byte-identical at every worker count.
+	Obs *obs.Config
 }
 
 // ServiceNode is the control system's brain: it owns the midplane map and
@@ -121,6 +127,10 @@ type ServiceNode struct {
 	// w is the crash-survivable world (control store, journal, crash
 	// injector, drain state); nil unless Journal or Crashes is armed.
 	w *world
+
+	// obs is the job-lifecycle span recorder; nil unless Config.Obs is
+	// armed.
+	obs *obs.Recorder
 }
 
 // New builds a service node over the configured topology.
@@ -132,6 +142,10 @@ func New(cfg Config) *ServiceNode {
 	}
 	if cfg.Journal.Enabled || cfg.Crashes.Enabled() {
 		s.w = newWorld(cfg)
+	}
+	if cfg.Obs != nil {
+		s.obs = obs.New(*cfg.Obs)
+		s.obs.SetPidPrefix("job")
 	}
 	return s
 }

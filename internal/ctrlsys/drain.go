@@ -72,10 +72,20 @@ func (s *ServiceNode) Drain(jobs []Job) (*DrainResult, error) {
 			return nil, fmt.Errorf("ctrlsys: job %d has ID %d; Drain needs dense job IDs", i, job.ID)
 		}
 	}
+	var res *DrainResult
+	var err error
 	if s.w != nil {
-		return s.drainJournaled(jobs, workers)
+		res, err = s.drainJournaled(jobs, workers)
+	} else {
+		res, err = s.drainDirect(jobs, workers)
 	}
-	return s.drainDirect(jobs, workers)
+	if err == nil {
+		// Emitted here — serially, in job-ID order, from the merged
+		// result — so the recorded trace is byte-identical at every
+		// worker count.
+		s.emitJobSpans(res)
+	}
+	return res, err
 }
 
 // drainDirect is the journal-free fast path: simulate everything, merge

@@ -1,0 +1,61 @@
+package ctrlsys
+
+import "bgcnk/internal/obs"
+
+// Obs returns the service node's span recorder; nil unless Config.Obs
+// is armed.
+func (s *ServiceNode) Obs() *obs.Recorder { return s.obs }
+
+// TraceJSON exports the drained jobs' lifecycle spans as Chrome
+// trace-event JSON (Perfetto-loadable); nil when the recorder is not
+// armed. Each job is one "process" row (pid = job ID, tid = the
+// placement's base midplane), timestamped in control-time cycles.
+func (s *ServiceNode) TraceJSON() []byte { return s.obs.ChromeJSON() }
+
+// TraceBinary exports the recorded trace in the compact versioned
+// binary format; nil when the recorder is not armed.
+func (s *ServiceNode) TraceBinary() []byte { return s.obs.MarshalBinary() }
+
+// emitJobSpans lays each drained job's lifecycle onto the control-time
+// axis of its schedule placement: submit (instant), boot, the run (or
+// the restart chain, with checkpoint-resume markers), and teardown.
+// Called once per successful Drain, after the merge, on the serial path.
+func (s *ServiceNode) emitJobSpans(res *DrainResult) {
+	if s.obs == nil || res == nil {
+		return
+	}
+	place := res.Sched.Placements
+	for _, r := range res.Results {
+		id := r.Job.ID
+		var p Placement
+		if id >= 0 && id < len(place) {
+			p = place[id]
+		}
+		at := p.Start
+		s.obs.Emit(obs.CatJob, "submit", id, p.Base, at, at, uint64(r.Job.Midplanes))
+		bootEnd := at + r.Boot.Total
+		s.obs.Emit(obs.CatJob, "boot", id, p.Base, at, bootEnd, uint64(r.Nodes))
+		t := bootEnd
+		if len(r.Attempts) > 0 {
+			// Resilience armed: each incarnation gets its own span, with
+			// the reboot and backoff gaps between them and a marker where
+			// an attempt resumed from a checkpoint epoch.
+			for i, a := range r.Attempts {
+				name := "run"
+				if i > 0 {
+					t += a.Boot // the restart's partition reboot
+					name = "restart"
+				}
+				if a.ResumeEpoch >= 0 {
+					s.obs.Emit(obs.CatJob, "ckpt:resume", id, p.Base, t, t, uint64(a.ResumeEpoch))
+				}
+				s.obs.Emit(obs.CatJob, name, id, p.Base, t, t+a.Run, uint64(i))
+				t += a.Run + a.Backoff
+			}
+		} else {
+			s.obs.Emit(obs.CatJob, "run", id, p.Base, t, t+r.Run, 0)
+			t += r.Run
+		}
+		s.obs.Emit(obs.CatJob, "teardown", id, p.Base, t, t+r.Teardown, uint64(r.Restarts))
+	}
+}

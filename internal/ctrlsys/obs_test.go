@@ -1,0 +1,123 @@
+package ctrlsys
+
+import (
+	"bytes"
+	"testing"
+
+	"bgcnk/internal/machine"
+	"bgcnk/internal/obs"
+)
+
+// The control system's job-lifecycle spans are emitted serially, in
+// job-ID order, from the merged drain result — so the trace is a
+// function of WHAT was computed, never of how many workers computed it.
+// These tests pin that worker invariance and the obs layer's inertness
+// on the drain itself.
+
+func obsDrainConfig(workers int, armed bool) Config {
+	cfg := Config{
+		Topology: Topology{Racks: 1, MidplanesPerRack: 4, NodesPerMidplane: 2},
+		Kind:     machine.KindCNK,
+		Seed:     42,
+		Workers:  workers,
+	}
+	if armed {
+		cfg.Obs = &obs.Config{}
+	}
+	return cfg
+}
+
+// TestObsDrainWorkerInvariance: the same queue drained on 1, 2 and 8
+// workers must export byte-identical trace JSON and binary, and the
+// armed drains must Signature-equal an obs-off drain (the recorder
+// changes nothing about the simulation).
+func TestObsDrainWorkerInvariance(t *testing.T) {
+	jobs := func() []Job { return GenerateJobs(42, 12, 4) }
+
+	off := New(obsDrainConfig(1, false))
+	base, err := off.Drain(jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Obs() != nil || off.TraceJSON() != nil || off.TraceBinary() != nil {
+		t.Fatal("unarmed service node has a recorder")
+	}
+
+	var wantJSON, wantBin []byte
+	for _, workers := range []int{1, 2, 8} {
+		s := New(obsDrainConfig(workers, true))
+		res, err := s.Drain(jobs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Signature() != base.Signature() {
+			t.Errorf("workers=%d: armed obs changed the drain signature: %016x != %016x",
+				workers, res.Signature(), base.Signature())
+		}
+		j, b := s.TraceJSON(), s.TraceBinary()
+		if s.Obs().SpanCount() == 0 {
+			t.Fatalf("workers=%d: no job spans recorded", workers)
+		}
+		if wantJSON == nil {
+			wantJSON, wantBin = j, b
+			continue
+		}
+		if !bytes.Equal(j, wantJSON) {
+			t.Errorf("workers=%d: trace JSON differs from workers=1", workers)
+		}
+		if !bytes.Equal(b, wantBin) {
+			t.Errorf("workers=%d: binary trace differs from workers=1", workers)
+		}
+	}
+
+	tr, err := obs.Unmarshal(wantBin)
+	if err != nil {
+		t.Fatalf("drain trace does not decode: %v", err)
+	}
+	// Every drained job contributes at least submit+boot+run+teardown.
+	if len(tr.Spans) < 4*len(base.Results) {
+		t.Errorf("only %d spans for %d jobs", len(tr.Spans), len(base.Results))
+	}
+}
+
+// TestObsDrainResilientSpans: with checkpoint/restart armed and faults
+// killing jobs, the lifecycle trace grows restart and ckpt:resume
+// markers — and stays worker-invariant.
+func TestObsDrainResilientSpans(t *testing.T) {
+	build := func(workers int) Config {
+		cfg := Config{
+			Topology: resilienceTopo(),
+			Kind:     machine.KindCNK,
+			Seed:     42,
+			Workers:  workers,
+			Faults:   resilientPlan(machine.KindCNK, 7),
+			Ckpt:     CkptConfig{Enabled: true, Interval: 1},
+			Obs:      &obs.Config{},
+		}
+		return cfg
+	}
+	var want []byte
+	var restarts int
+	for _, workers := range []int{1, 4} {
+		s := New(build(workers))
+		res, err := s.Drain(resilienceJobs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		restarts = res.Restarts
+		j := s.TraceJSON()
+		if want == nil {
+			want = j
+			continue
+		}
+		if !bytes.Equal(j, want) {
+			t.Errorf("workers=%d: resilient drain trace differs from serial", workers)
+		}
+	}
+	if restarts == 0 {
+		t.Skip("fault plan produced no restarts; restart-span check not exercised")
+	}
+	if !bytes.Contains(want, []byte(`"name":"restart"`)) {
+		t.Error("restarting drain trace has no restart spans")
+	}
+}

@@ -89,11 +89,12 @@ var Registry = map[string]Runner{
 	"crashes":    RunCrashes,
 	"ioscale":    RunIOScale,
 	"degrade":    RunDegrade,
+	"tracescale": RunTraceScale,
 	"ablations":  RunAblations,
 }
 
 // Order lists the artifacts in paper order.
-var Order = []string{"fig5-7", "table1", "fig8", "linpack", "allreduce", "table2", "table3", "boot", "throughput", "repro", "faults", "mtbf", "crashes", "ioscale", "degrade", "ablations"}
+var Order = []string{"fig5-7", "table1", "fig8", "linpack", "allreduce", "table2", "table3", "boot", "throughput", "repro", "faults", "mtbf", "crashes", "ioscale", "degrade", "tracescale", "ablations"}
 
 // RunAll executes every experiment and returns the results in paper
 // order. Runners are independent replicas (each builds its own engines

@@ -13,6 +13,7 @@ import (
 	"bgcnk/internal/fs"
 	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
+	"bgcnk/internal/obs"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 )
@@ -113,7 +114,15 @@ type Kernel struct {
 	physLimit uint64
 	physIdx   uint64
 	physFree  []hw.PAddr
+
+	// obs, when non-nil, receives boot, syscall, tick, daemon and
+	// uplink-stall spans; emitting charges no cycles.
+	obs *obs.Recorder
 }
+
+// AttachObs wires the machine-wide span recorder (call before Boot so
+// the boot span is captured; nil is a no-op recorder).
+func (k *Kernel) AttachObs(r *obs.Recorder) { k.obs = r }
 
 // New constructs an FWK instance for chip.
 func New(eng *sim.Engine, chip *hw.Chip, cfg Config) *Kernel {
@@ -159,6 +168,7 @@ func (k *Kernel) Boot() error {
 	k.BootedAt = k.Eng.Now() + sim.Cycles(k.BootInstr)
 	k.booted = true
 	k.Eng.Trace().Record(k.BootedAt, k.tag(), "boot: complete")
+	k.obs.Emit(obs.CatBoot, "fwk:boot", k.Chip.ID, 0, k.Eng.Now(), k.BootedAt, k.BootInstr)
 	// Start ticks and daemons.
 	for i, c := range k.cpus {
 		c.nextTick = k.BootedAt + tickPeriod + k.rng.Cycles(tickPeriod) + sim.Cycles(i*997)

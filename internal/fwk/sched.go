@@ -5,6 +5,7 @@ import (
 
 	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
+	"bgcnk/internal/obs"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
 )
@@ -61,6 +62,7 @@ func (d *daemon) loop(c *sim.Coro) {
 		}
 		// Burst: CPU time plus cache pollution from the daemon's working
 		// set walking through L1.
+		runStart := c.Now()
 		burst := d.spec.Burst + d.jitter.Cycles(d.spec.Burst/8)
 		if cost, _ := d.cpu.core.Chip.Cache.Access(d.cpu.core.ID, d.wsBase, d.spec.WorkingSet, false, c.Now()); cost > 0 {
 			c.Sleep(cost)
@@ -70,6 +72,7 @@ func (d *daemon) loop(c *sim.Coro) {
 		u := d.cpu.core.Chip.UPC
 		u.Inc(d.cpu.core.ID, upc.DaemonRun)
 		u.Trace.Emit(upc.EvDaemon, d.cpu.core.ID, c.Now(), uint64(d.spec.Core))
+		d.cpu.k.obs.Emit(obs.CatSched, d.spec.Name, d.cpu.k.Chip.ID, d.spec.Core, runStart, c.Now(), d.cpu.DaemonRuns)
 		d.nextRun = c.Now() + d.spec.Period + d.jitter.Cycles(d.spec.Period/16)
 		d.active = false
 		if t := d.resumeMe; t != nil {
@@ -102,6 +105,7 @@ func (k *Kernel) ServiceInterrupt(t *kernel.Thread) {
 		u.Inc(c.core.ID, upc.Interrupt)
 		u.Trace.Emit(upc.EvTick, c.core.ID, now, uint64(c.Ticks))
 		t.Coro().Sleep(tickISRCost)
+		k.obs.Emit(obs.CatSched, "fwk:tick", k.Chip.ID, t.CoreID(), now, k.Eng.Now(), uint64(c.Ticks))
 
 		// Dispatch due daemons: the user thread waits while they run.
 		for _, d := range c.daemons {

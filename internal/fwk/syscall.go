@@ -4,6 +4,7 @@ import (
 	"bgcnk/internal/fs"
 	"bgcnk/internal/hw"
 	"bgcnk/internal/kernel"
+	"bgcnk/internal/obs"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
 )
@@ -16,6 +17,15 @@ const fsOpCost = sim.Cycles(900)
 // locally against the node's filesystem (VFS + NFS client in the model),
 // fork/exec exist, and mmap is fully honoured including permissions.
 func (k *Kernel) Syscall(t *kernel.Thread, num kernel.Sys, args []uint64) (uint64, kernel.Errno) {
+	if k.obs != nil {
+		// Deferred so the span survives exit's thread unwind (exitThread
+		// panics threadExit through this frame).
+		start := k.Eng.Now()
+		core := t.CoreID()
+		defer func() {
+			k.obs.Emit(obs.CatSyscall, num.String(), k.Chip.ID, core, start, k.Eng.Now(), uint64(num))
+		}()
+	}
 	p := k.procs[t.PID()]
 	if p == nil {
 		return 0, kernel.ESRCH
@@ -42,10 +52,12 @@ func (k *Kernel) Syscall(t *kernel.Thread, num kernel.Sys, args []uint64) (uint6
 				bytes = int(arg(2))
 			}
 			if bytes > 0 {
+				uplinkStart := k.Eng.Now()
 				if stall := k.cfg.Uplink(t.Coro(), bytes); stall > 0 {
 					u := k.Chip.UPC
 					u.Inc(upc.ChipScope, upc.IONStall)
 					u.Add(upc.ChipScope, upc.IONStallCycles, uint64(stall))
+					k.obs.Emit(obs.CatStall, "fwk:uplink", k.Chip.ID, t.CoreID(), uplinkStart, uplinkStart+stall, uint64(bytes))
 				}
 			}
 		}

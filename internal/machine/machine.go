@@ -18,6 +18,7 @@ import (
 	"bgcnk/internal/hw"
 	"bgcnk/internal/ion"
 	"bgcnk/internal/kernel"
+	"bgcnk/internal/obs"
 	"bgcnk/internal/ras"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/torus"
@@ -83,6 +84,15 @@ type Config struct {
 	// all draw from per-node streams derived from Faults.Seed, so a
 	// given plan yields a bit-identical fault schedule on every run.
 	Faults *ras.Plan
+
+	// Obs, when non-nil, arms the span recorder: every layer (kernels,
+	// torus, collective trees, CIOD, ION aggregation) emits
+	// cycle-timestamped spans into Machine.Obs, and a nonzero SampleEvery
+	// adds the periodic UPC time-series. Recording charges zero simulated
+	// cycles: an armed machine's trace hash, exit codes, counters and RAS
+	// log are bit-identical to an unarmed one's
+	// (TestObsOffChangesNothing).
+	Obs *obs.Config
 }
 
 // Machine is the assembled system.
@@ -113,6 +123,9 @@ type Machine struct {
 	// Cfg.Faults is armed.
 	RAS *ras.Log
 
+	// Obs is the machine-wide span recorder; nil unless Cfg.Obs is armed.
+	Obs *obs.Recorder
+
 	inj  *ras.Injector
 	jobs []doneable
 	ck   ckptState
@@ -133,12 +146,24 @@ func New(cfg Config) (*Machine, error) {
 		cfg.CNsPerION = cfg.Nodes
 	}
 	m := &Machine{Eng: sim.NewEngineWith(sim.EngineConfig{Scheduler: cfg.Sched}), Cfg: cfg}
+	if cfg.Obs != nil {
+		m.Obs = obs.New(*cfg.Obs)
+		if m.Obs.SampleEvery() > 0 {
+			// The sampler rides the engine's clock-advance hook: it only
+			// reads counters, so the event schedule (and the run's trace
+			// hash) is untouched.
+			m.Eng.SetAdvanceHook(func(prev, now sim.Cycles) {
+				m.Obs.TickSample(now, m.counterTotals)
+			})
+		}
+	}
 	if cfg.Faults.Enabled() {
 		m.RAS = ras.NewLog()
 		m.RAS.AttachTrace(m.Eng.Trace())
 		m.inj = ras.NewInjector(m.Eng, m.RAS, *cfg.Faults)
 	}
 	m.Torus = torus.New(m.Eng, torus.DefaultConfig(dims))
+	m.Torus.AttachObs(m.Obs)
 	m.Bar = barrier.New(m.Eng, cfg.Nodes, 0)
 	if cfg.Kind == KindCNK {
 		// The combining tree is driven from user space under CNK only.
@@ -201,6 +226,7 @@ func New(cfg Config) (*Machine, error) {
 			ids = append(ids, n)
 		}
 		tree := collective.NewTree(m.Eng, collective.DefaultConfig(), ids)
+		tree.AttachObs(m.Obs)
 		for _, id := range ids {
 			tree.CN(id).AttachUPC(m.Chips[id].UPC)
 			if m.inj != nil {
@@ -213,6 +239,7 @@ func New(cfg Config) (*Machine, error) {
 		m.Trees = append(m.Trees, tree)
 		m.IONFS = append(m.IONFS, ionFS)
 		srv := ciod.NewServer(m.Eng, tree.ION(), ionFS)
+		srv.AttachObs(m.Obs, -1-len(m.Servers))
 		if m.inj != nil {
 			// I/O nodes get their own fault streams, keyed below the
 			// compute-node ID space.
@@ -240,6 +267,7 @@ func New(cfg Config) (*Machine, error) {
 		case KindCNK:
 			io := ciod.NewClient(m.Trees[treeIdx].CN(n))
 			io.AttachUPC(chip.UPC)
+			io.AttachObs(m.Obs, n)
 			if cfg.ION != nil {
 				io.AttachION(m.IONs[treeIdx])
 			}
@@ -256,6 +284,7 @@ func New(cfg Config) (*Machine, error) {
 				Reproducible:      cfg.Reproducible,
 				IO:                io,
 			})
+			k.AttachObs(m.Obs)
 			if err := k.Boot(); err != nil {
 				return nil, fmt.Errorf("machine: node %d: %v", n, err)
 			}
@@ -275,6 +304,7 @@ func New(cfg Config) (*Machine, error) {
 				fcfg.Uplink = m.Trees[treeIdx].UplinkTransfer
 			}
 			k := fwk.New(m.Eng, chip, fcfg)
+			k.AttachObs(m.Obs)
 			if err := k.Boot(); err != nil {
 				return nil, fmt.Errorf("machine: node %d: %v", n, err)
 			}
@@ -465,6 +495,10 @@ func (m *Machine) Reboot() error {
 	m.ClearJobs()
 	m.disarmCheckpoints() // a rebooted partition forgets its schedule too
 	m.ResetFaults()
+	// A rebooted partition starts a fresh trace (the recorder itself is
+	// configuration and survives, like the fault plan). ClearJobs keeps
+	// the spans: a reused machine's trace spans several jobs.
+	m.Obs.Reset()
 	now := m.Eng.Now()
 	for i := range m.Servers {
 		ionFS := fs.New()

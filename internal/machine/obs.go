@@ -1,0 +1,30 @@
+package machine
+
+import (
+	"bgcnk/internal/obs"
+	"bgcnk/internal/upc"
+)
+
+// counterTotals sums every node's UPC counters into the machine-wide
+// total vector the obs sampler delta-encodes. It is called from the
+// engine's clock-advance hook, so it must only read.
+func (m *Machine) counterTotals() (t obs.Totals) {
+	for _, ch := range m.Chips {
+		snap := ch.UPC.Snapshot()
+		for c := upc.Counter(0); c < upc.NumCounters; c++ {
+			t[c] += snap.Total(c)
+		}
+	}
+	return
+}
+
+// TraceJSON exports the recorded spans and samples as Chrome trace-event
+// JSON (Perfetto-loadable); nil when the recorder is not armed. The
+// bytes are deterministic: a reproducible run exports byte-identical
+// JSON on every rerun.
+func (m *Machine) TraceJSON() []byte { return m.Obs.ChromeJSON() }
+
+// TraceBinary exports the recorded trace in the compact versioned
+// binary format (obs.Unmarshal decodes it); nil when the recorder is
+// not armed.
+func (m *Machine) TraceBinary() []byte { return m.Obs.MarshalBinary() }

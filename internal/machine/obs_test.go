@@ -1,0 +1,198 @@
+package machine
+
+// The observability contract: arming internal/obs must change NOTHING
+// about the simulation. Spans charge zero cycles, the sampler rides the
+// engine's clock-advance hook without scheduling events, and every Emit
+// call site is outside the cycle-accounted paths. These tests pin that
+// contract differentially (armed vs unarmed machine, byte-for-byte) and
+// pin the armed recorder's own determinism (same seed -> same trace
+// bytes, across kernels, seeds and reruns).
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bgcnk/internal/ion"
+	"bgcnk/internal/kernel"
+	"bgcnk/internal/obs"
+	"bgcnk/internal/ras"
+	"bgcnk/internal/sim"
+)
+
+// obsTestConfig is a busy machine: both kernels exercised elsewhere, 4
+// nodes, armed fault injector, armed ION aggregation — every span source
+// (boot, syscalls, sched, torus, collective, ciod, ion stalls) fires.
+func obsTestConfig(kind KernelKind, seed uint64) Config {
+	return Config{
+		Nodes:        4,
+		Kind:         kind,
+		Seed:         seed,
+		Reproducible: true,
+		CNsPerION:    2,
+		ION:          &ion.Config{},
+		Faults:       &ras.Plan{Seed: seed, DDRCorrectable: 1e-3, LinkCRC: 5e-3},
+	}
+}
+
+// obsFacts is everything the unarmed machine produces that the armed one
+// must reproduce exactly.
+type obsFacts struct {
+	now       sim.Cycles
+	traceHash uint64
+	codes     []int
+	counters  string
+	rasCount  uint64
+	rasHash   uint64
+}
+
+func runObsJob(t *testing.T, m *Machine) obsFacts {
+	t.Helper()
+	if err := m.Run(reuseWorkload(m), kernel.JobParams{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	f := obsFacts{
+		now:       m.Eng.Now(),
+		traceHash: m.Eng.Trace().Hash(),
+		codes:     m.ExitCodes(),
+		counters:  m.MergedCounters().Text(),
+	}
+	if m.RAS != nil {
+		f.rasCount = m.RAS.Total()
+		f.rasHash = m.RAS.Hash()
+	}
+	return f
+}
+
+// TestObsOffChangesNothing is the inertness proof: an armed recorder
+// (spans + a fine-grained sampler) against an unarmed machine, same
+// config, same workload — the simulation clock, event-trace hash, exit
+// codes, merged UPC counters and RAS stream must all be bit-identical,
+// while the armed machine actually recorded a non-trivial trace.
+func TestObsOffChangesNothing(t *testing.T) {
+	for _, kind := range []KernelKind{KindCNK, KindFWK} {
+		t.Run(kind.String(), func(t *testing.T) {
+			off, err := New(obsTestConfig(kind, 42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer off.Shutdown()
+			cfg := obsTestConfig(kind, 42)
+			cfg.Obs = &obs.Config{SampleEvery: 50_000}
+			on, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer on.Shutdown()
+
+			want := runObsJob(t, off)
+			got := runObsJob(t, on)
+
+			if got.now != want.now {
+				t.Errorf("armed obs moved the clock: %d != %d", got.now, want.now)
+			}
+			if got.traceHash != want.traceHash {
+				t.Errorf("armed obs changed the event-trace hash: %016x != %016x",
+					got.traceHash, want.traceHash)
+			}
+			if fmt.Sprint(got.codes) != fmt.Sprint(want.codes) {
+				t.Errorf("exit codes differ: %v != %v", got.codes, want.codes)
+			}
+			if got.counters != want.counters {
+				t.Errorf("merged counters differ:\n%s\nvs\n%s", got.counters, want.counters)
+			}
+			if got.rasCount != want.rasCount || got.rasHash != want.rasHash {
+				t.Errorf("RAS stream differs: %d/%016x != %d/%016x",
+					got.rasCount, got.rasHash, want.rasCount, want.rasHash)
+			}
+			if off.Obs != nil || off.TraceJSON() != nil || off.TraceBinary() != nil {
+				t.Error("unarmed machine has a recorder")
+			}
+			if on.Obs.SpanCount() == 0 {
+				t.Error("armed machine recorded no spans")
+			}
+			if on.Obs.SampleCount() == 0 {
+				t.Error("armed sampler recorded no time-series points")
+			}
+		})
+	}
+}
+
+// TestObsArmedDeterminism is the determinism matrix from the issue: both
+// kernels x 3 seeds, two independently built machines each — the
+// Perfetto JSON and the binary ring export must be byte-identical, and
+// the binary trace must survive a decode/re-encode round trip.
+func TestObsArmedDeterminism(t *testing.T) {
+	for _, kind := range []KernelKind{KindCNK, KindFWK} {
+		for _, seed := range []uint64{1, 7, 42} {
+			t.Run(fmt.Sprintf("%s/seed%d", kind, seed), func(t *testing.T) {
+				run := func() (json, bin []byte) {
+					cfg := obsTestConfig(kind, seed)
+					cfg.Obs = &obs.Config{SampleEvery: 50_000}
+					m, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer m.Shutdown()
+					runObsJob(t, m)
+					return m.TraceJSON(), m.TraceBinary()
+				}
+				j1, b1 := run()
+				j2, b2 := run()
+				if !bytes.Equal(j1, j2) {
+					t.Error("Chrome JSON export not byte-identical across reruns")
+				}
+				if !bytes.Equal(b1, b2) {
+					t.Error("binary export not byte-identical across reruns")
+				}
+				tr, err := obs.Unmarshal(b1)
+				if err != nil {
+					t.Fatalf("binary export does not decode: %v", err)
+				}
+				if !bytes.Equal(tr.Marshal(), b1) {
+					t.Error("binary export decode/re-encode not canonical")
+				}
+				if len(tr.Spans) == 0 {
+					t.Error("empty span list from a busy machine")
+				}
+			})
+		}
+	}
+}
+
+// TestObsSurvivesClearJobsResetsOnReboot pins the recorder's lifecycle:
+// ClearJobs keeps the trace growing (multi-job traces on a reused
+// partition), Reboot wipes it (a rebooted partition starts a fresh
+// trace) while keeping the armed configuration.
+func TestObsSurvivesClearJobsResetsOnReboot(t *testing.T) {
+	cfg := obsTestConfig(KindCNK, 1)
+	cfg.Obs = &obs.Config{SampleEvery: 50_000}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	runObsJob(t, m)
+	one := m.Obs.SpanCount()
+	if one == 0 {
+		t.Fatal("no spans after job 1")
+	}
+	m.ClearJobs()
+	runObsJob(t, m)
+	if got := m.Obs.SpanCount(); got <= one {
+		t.Errorf("ClearJobs truncated the trace: %d spans after job 2, %d after job 1", got, one)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	// Reboot itself re-emits boot spans; the point is the old jobs' spans
+	// are gone and recording still works.
+	reboot := m.Obs.SpanCount()
+	if reboot >= one {
+		t.Errorf("Reboot kept the old trace: %d spans right after reboot", reboot)
+	}
+	runObsJob(t, m)
+	if m.Obs.SpanCount() <= reboot {
+		t.Error("recorder dead after reboot")
+	}
+}

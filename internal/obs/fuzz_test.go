@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"bgcnk/internal/upc"
+)
+
+// fuzzSeedTraces are the hand-picked traces seeded into the corpus: the
+// empty trace, a representative mixed trace, extreme field values
+// (negative nodes, max durations, signed-rollback deltas), a pure
+// time-series trace, and a span-heavy trace crossing a pool block.
+func fuzzSeedTraces() []Trace {
+	big := Trace{}
+	for i := 0; i < spanBlock+10; i++ {
+		big.Spans = append(big.Spans, Span{Cat: Cat(i % int(NumCats)), Name: "s",
+			Node: int32(i), Start: 10, Dur: 1, Arg: uint64(i)})
+	}
+	return []Trace{
+		{},
+		sampleTrace(),
+		{
+			Spans: []Span{
+				{Cat: NumCats - 1, Name: "x", Node: -(1 << 31), Tid: 1<<31 - 1,
+					Start: 1 << 61, Dur: 1 << 61, Arg: ^uint64(0)},
+				{Cat: 0, Name: "", Node: 0, Tid: 0, Start: 0, Dur: 0, Arg: 0},
+			},
+			Samples: []Sample{
+				{At: 1, Deltas: []Delta{{Counter: 0, Value: -(1 << 62)}}},
+				{At: 1 + 1<<61, Deltas: []Delta{{Counter: upc.NumCounters - 1, Value: 1 << 62}}},
+			},
+		},
+		{Samples: []Sample{
+			{At: 100, Deltas: []Delta{{Counter: upc.SyscallTotal, Value: 7}}},
+			{At: 200, Deltas: []Delta{{Counter: upc.Interrupt, Value: -3}, {Counter: upc.SyscallTotal, Value: 1}}},
+		}},
+		big,
+	}
+}
+
+// FuzzTraceCodec drives the binary trace decoder with corrupted,
+// truncated and hostile inputs. The invariant on every accepted input is
+// canonicality: it re-marshals to exactly the bytes that were accepted.
+// Rejections must be clean — no panic, no huge allocation (all counts
+// are validated against the bytes actually present before any make()).
+func FuzzTraceCodec(f *testing.F) {
+	for _, tr := range fuzzSeedTraces() {
+		wire := tr.Marshal()
+		f.Add(wire)
+		if len(wire) > len(codecMagic)+1 {
+			f.Add(wire[:len(wire)-1]) // truncated tail
+			f.Add(wire[:len(wire)/2]) // truncated mid-stream
+		}
+	}
+	// Count abuse: a tiny input claiming millions of spans.
+	f.Add([]byte{'B', 'G', 'O', 'B', 1, 0xff, 0xff, 0xff, 0x7f, 0x00})
+	// Non-minimal varint (redundant continuation bytes must be rejected
+	// or canonicality breaks).
+	f.Add([]byte{'B', 'G', 'O', 'B', 1, 0x80, 0x00, 0x00})
+	f.Add([]byte{})
+	f.Add([]byte("go test fuzz is not a trace"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Unmarshal(data)
+		if err != nil {
+			return // rejection is fine; the property is about accepted inputs
+		}
+		wire := tr.Marshal()
+		if !bytes.Equal(wire, data) {
+			t.Fatalf("accepted non-canonical input:\n in  %x\n out %x", data, wire)
+		}
+		again, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("re-decode of own marshal failed: %v", err)
+		}
+		if len(again.Spans) != len(tr.Spans) || len(again.Samples) != len(tr.Samples) {
+			t.Fatal("round trip changed trace shape")
+		}
+	})
+}
+
+// TestWriteTraceCorpus regenerates the committed seed corpus under
+// testdata/fuzz/FuzzTraceCodec. Skipped unless GEN_CORPUS=1; rerun after
+// changing the wire format or the seed set.
+func TestWriteTraceCorpus(t *testing.T) {
+	if os.Getenv("GEN_CORPUS") == "" {
+		t.Skip("set GEN_CORPUS=1 to regenerate the committed fuzz corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzTraceCodec")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seeds := fuzzSeedTraces()
+	write("seed_empty_trace", seeds[0].Marshal())
+	write("seed_typical", seeds[1].Marshal())
+	write("seed_extremes", seeds[2].Marshal())
+	write("seed_samples_only", seeds[3].Marshal())
+	write("seed_block_cross", seeds[4].Marshal())
+	typical := seeds[1].Marshal()
+	write("seed_trunc_tail", typical[:len(typical)-1])
+	write("seed_trunc_half", typical[:len(typical)/2])
+	write("seed_hostile_counts", []byte{'B', 'G', 'O', 'B', 1, 0xff, 0xff, 0xff, 0x7f, 0x00})
+	write("seed_nonminimal_varint", []byte{'B', 'G', 'O', 'B', 1, 0x80, 0x00, 0x00})
+	write("seed_empty", []byte{})
+}

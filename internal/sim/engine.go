@@ -42,6 +42,15 @@ type Engine struct {
 	// coroutine: engine methods may only be called from simulation context,
 	// and Shutdown only from outside it.
 	stepping bool
+
+	// advance, when set, is called each time Step moves the clock
+	// forward, before the event at the new time dispatches. Observability
+	// layers hang periodic samplers here instead of scheduling events of
+	// their own: a self-rescheduling sampler event would keep Pending
+	// nonzero forever and perturb every run-until-idle loop. The hook
+	// must only observe — it runs outside any coroutine and must not
+	// schedule events, sleep, or mutate simulation state.
+	advance func(prev, now Cycles)
 }
 
 // NewEngine returns an engine at cycle 0 with an empty event queue, using
@@ -87,6 +96,10 @@ func (e *Engine) At(t Cycles, fn func()) {
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Cycles, fn func()) { e.At(e.now+d, fn) }
 
+// SetAdvanceHook installs fn as the clock-advance observer (nil clears
+// it); see the field comment for the contract.
+func (e *Engine) SetAdvanceHook(fn func(prev, now Cycles)) { e.advance = fn }
+
 // Step runs the next pending event. It reports false when the queue is
 // empty.
 func (e *Engine) Step() bool {
@@ -97,7 +110,13 @@ func (e *Engine) Step() bool {
 	if ev.at < e.now {
 		panic("sim: time went backwards")
 	}
-	e.now = ev.at
+	if e.advance != nil && ev.at > e.now {
+		prev := e.now
+		e.now = ev.at
+		e.advance(prev, ev.at)
+	} else {
+		e.now = ev.at
+	}
 	fn := ev.fn
 	ev.fn = nil
 	e.free = append(e.free, ev)

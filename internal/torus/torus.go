@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"bgcnk/internal/hw"
+	"bgcnk/internal/obs"
 	"bgcnk/internal/sim"
 	"bgcnk/internal/upc"
 )
@@ -62,7 +63,14 @@ type Network struct {
 	// Hard-fault layer; nil until ArmFaults, and every code path below
 	// runs the exact legacy sequence when it is nil.
 	faults *faultState
+	// obs, when non-nil, receives one msg span per delivered packet
+	// (send to delivery); emitting charges no cycles.
+	obs *obs.Recorder
 }
+
+// AttachObs wires the machine-wide span recorder (nil is a no-op
+// recorder).
+func (n *Network) AttachObs(r *obs.Recorder) { n.obs = r }
 
 type linkKey struct {
 	c   Coord
@@ -276,8 +284,14 @@ func (i *Interface) SendPacket(dst Coord, tag uint32, kind uint8, payload []byte
 	u.Trace.Emit(upc.EvTorusPacket, upc.ChipScope, i.net.eng.Now(), uint64(tag))
 	if i.net.faults != nil {
 		target := i.net.At(dst)
+		sendAt := i.net.eng.Now()
+		node := i.chip.ID
 		i.sendArmed(dst, len(payload), 0, func(err error) {
 			if err == nil {
+				// The armed path's delivery instant is only known here
+				// (retransmits and detours moved it), so the span closes
+				// at delivery.
+				i.net.obs.Emit(obs.CatMsg, "torus:pkt", node, 0, sendAt, i.net.eng.Now(), uint64(len(p.Payload)))
 				target.deliver(p)
 			}
 		})
@@ -287,6 +301,7 @@ func (i *Interface) SendPacket(dst Coord, tag uint32, kind uint8, payload []byte
 	done := i.net.transferDone(i.coord, dst, len(payload)) + pen
 	i.net.chargeRetrans(i.coord, dst, pen)
 	target := i.net.At(dst)
+	i.net.obs.Emit(obs.CatMsg, "torus:pkt", i.chip.ID, 0, i.net.eng.Now(), done+i.net.cfg.RecvOverhead, uint64(len(payload)))
 	i.net.eng.At(done+i.net.cfg.RecvOverhead, func() { target.deliver(p) })
 }
 

@@ -8,7 +8,10 @@
 # with checkpointing on/off, and recovery latency vs journal size for
 # crashed-and-recovered service nodes) and BENCH_ion.json (the I/O-node
 # aggregation sweep: bandwidth, stall cycles, coalescing and cache hit
-# rate vs CN:ION fan-in, every cell rerun and checked bit-identical).
+# rate vs CN:ION fan-in, every cell rerun and checked bit-identical)
+# and BENCH_obs.json (the span-tracing volume sweep: span/sample counts
+# and export sizes vs node count for both kernels, every cell rerun and
+# checked byte-identical).
 # Called from scripts/ci.sh as a non-gating smoke; run it by hand with
 # full sizes:
 #
@@ -48,4 +51,11 @@ if [ "${BENCH_FULL:-0}" = "1" ]; then
 	go run ./cmd/ionbench -out BENCH_ion.json
 else
 	go run ./cmd/ionbench -quick -out BENCH_ion.json
+fi
+
+echo "== tracebench -> BENCH_obs.json"
+if [ "${BENCH_FULL:-0}" = "1" ]; then
+	go run ./cmd/tracebench -out BENCH_obs.json
+else
+	go run ./cmd/tracebench -quick -out BENCH_obs.json
 fi

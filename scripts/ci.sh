@@ -20,7 +20,7 @@ echo "== go test -race"
 go test -race ./...
 
 echo "== fuzz seed-corpus regressions"
-go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/ ./internal/ion/ ./internal/ctrlsys/ ./internal/ctrlsys/wal/ ./internal/ckpt/ ./internal/torus/
+go test -run 'Fuzz' ./internal/fs/ ./internal/ciod/ ./internal/ion/ ./internal/ctrlsys/ ./internal/ctrlsys/wal/ ./internal/ckpt/ ./internal/torus/ ./internal/obs/
 
 # The fault matrix is part of the -race suite above, but gate on it
 # explicitly: per-class fault determinism and the recovery-under-fault
@@ -93,6 +93,19 @@ go test -race -run 'TestDifferential' ./internal/sim/ ./internal/machine/
 go test -race -run 'TestReplicaWorkerInvariance' ./internal/sim/replica/
 go test -race -run 'TestRenderWorkerInvariance' ./internal/experiments/
 
+# Observability contracts: arming the span/sampler layer must change
+# NOTHING (cycle-exact vs the unarmed machine, fault injector on), the
+# armed trace must be byte-identical across kernels x seeds x reruns and
+# across drain worker counts (under -race), the syscall ABI conformance
+# table must hold with its documented divergences, the cross-subsystem
+# soak invariants (ION credit conservation, counter monotonicity, no
+# leaked partitions, journaled-crash completion) must hold, and the
+# tracescale sweep must match its golden byte-for-byte.
+echo "== observability: inertness + trace determinism + conformance + soak + tracescale golden"
+go test -race -run 'TestObsOffChangesNothing|TestObsArmedDeterminism|TestObsSurvivesClearJobsResetsOnReboot|TestSyscallConformance|TestSoak' ./internal/machine/
+go test -race -run 'TestObsDrainWorkerInvariance|TestObsDrainResilientSpans' ./internal/ctrlsys/
+go test -run 'TestGolden/tracescale' ./internal/experiments/
+
 echo "== benchmark smoke (non-gating)"
 ./scripts/bench.sh || echo "WARN: bench smoke failed (non-gating)"
 
@@ -105,6 +118,7 @@ if [ "$FUZZTIME" != "0" ]; then
 	go test -fuzz=FuzzCheckpointImage -fuzztime="$FUZZTIME" ./internal/ckpt/
 	go test -fuzz=FuzzJournal -fuzztime="$FUZZTIME" ./internal/ctrlsys/wal/
 	go test -fuzz=FuzzFaultPlan -fuzztime="$FUZZTIME" ./internal/torus/
+	go test -fuzz=FuzzTraceCodec -fuzztime="$FUZZTIME" ./internal/obs/
 fi
 
 echo "CI gate passed."
